@@ -1,0 +1,114 @@
+//! Encoding ablation: the simple 1-bit-per-counter merge encoding vs the
+//! near-optimal (≤0.594 bits/counter) layout-code encoding, at the row level.
+//!
+//! The paper chooses the simple encoding as the default because it is
+//! slightly faster even though it stores fewer counters per byte; this bench
+//! quantifies that speed gap for both updates and reads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use salsa_core::prelude::*;
+
+const WIDTH: usize = 1 << 16;
+const OPS: usize = 200_000;
+
+/// A deterministic update sequence with a skewed index distribution so that
+/// merges actually happen.
+fn workload() -> Vec<(usize, u64)> {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    (0..OPS)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+            let idx = (((1.0 / u) as usize) * 97) % WIDTH;
+            let val = (state >> 50) + 1;
+            (idx, val)
+        })
+        .collect()
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let updates = workload();
+    let mut group = c.benchmark_group("row_encoding");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.sample_size(10);
+
+    group.bench_function("simple_encoding_add", |b| {
+        b.iter_batched(
+            || SalsaRow::<MergeBitmap>::new(WIDTH, 8, MergeOp::Max),
+            |mut row| {
+                for &(idx, val) in &updates {
+                    row.add(idx, val);
+                }
+                row
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("compact_encoding_add", |b| {
+        b.iter_batched(
+            || SalsaRow::<LayoutCodes>::new(WIDTH, 8, MergeOp::Max),
+            |mut row| {
+                for &(idx, val) in &updates {
+                    row.add(idx, val);
+                }
+                row
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("tango_add", |b| {
+        b.iter_batched(
+            || TangoRow::new(WIDTH, 8, MergeOp::Max),
+            |mut row| {
+                for &(idx, val) in &updates {
+                    row.add(idx, val);
+                }
+                row
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    // Read path: pre-populate, then time reads.
+    let mut simple = SalsaRow::<MergeBitmap>::new(WIDTH, 8, MergeOp::Max);
+    let mut compact = SalsaRow::<LayoutCodes>::new(WIDTH, 8, MergeOp::Max);
+    let mut tango = TangoRow::new(WIDTH, 8, MergeOp::Max);
+    for &(idx, val) in &updates {
+        simple.add(idx, val);
+        compact.add(idx, val);
+        tango.add(idx, val);
+    }
+    group.bench_function("simple_encoding_read", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(idx, _) in &updates {
+                acc = acc.wrapping_add(simple.read(idx));
+            }
+            acc
+        });
+    });
+    group.bench_function("compact_encoding_read", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(idx, _) in &updates {
+                acc = acc.wrapping_add(compact.read(idx));
+            }
+            acc
+        });
+    });
+    group.bench_function("tango_read", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(idx, _) in &updates {
+                acc = acc.wrapping_add(tango.read(idx));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Query (estimate) throughput micro-benchmarks: reading a counter requires
+//! decoding its current size, so this isolates the cost of SALSA's merge
+//! decoding (simple vs compact encoding) against the baseline's direct array
+//! read, plus Pyramid's multi-layer reconstruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use salsa_bench::builders::*;
+use salsa_core::traits::MergeOp;
+use salsa_workloads::TraceSpec;
+
+const STREAM_LEN: usize = 200_000;
+const QUERIES: usize = 100_000;
+const BUDGET: usize = 512 * 1024;
+
+fn bench_queries(c: &mut Criterion) {
+    let items = TraceSpec::CaidaNy18
+        .generate(STREAM_LEN, 7)
+        .items()
+        .to_vec();
+    let queries: Vec<u64> = items.iter().copied().take(QUERIES).collect();
+
+    let mut group = c.benchmark_group("query_throughput_512KB");
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    group.sample_size(10);
+
+    let builders: Vec<(&str, SketchBuilder)> = vec![
+        ("baseline_cms", Box::new(|seed| baseline_cms(BUDGET, seed))),
+        (
+            "salsa_cms",
+            Box::new(|seed| salsa_cms(BUDGET, 8, MergeOp::Max, seed)),
+        ),
+        (
+            "salsa_cms_compact",
+            Box::new(|seed| salsa_cms_compact(BUDGET, 8, MergeOp::Max, seed)),
+        ),
+        (
+            "tango_cms",
+            Box::new(|seed| tango_cms(BUDGET, 8, MergeOp::Max, seed)),
+        ),
+        ("baseline_cs", Box::new(|seed| baseline_cs(BUDGET, seed))),
+        ("salsa_cs", Box::new(|seed| salsa_cs(BUDGET, 8, seed))),
+        ("pyramid", Box::new(|seed| pyramid_cms(BUDGET, seed))),
+        ("abc", Box::new(|seed| abc_cms(BUDGET, seed))),
+    ];
+
+    for (name, build) in &builders {
+        // Pre-populate the sketch once, outside the measurement.
+        let mut named = build(3);
+        for &item in &items {
+            named.sketch.update(item, 1);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &q in &queries {
+                    acc = acc.wrapping_add(named.sketch.estimate(q));
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Update-throughput micro-benchmarks (the speed numbers of Section VI:
+//! baseline CMS/CUS/CS vs their SALSA variants vs Pyramid, ABC and the AEE
+//! estimators).
+//!
+//! The paper reports that at 512 KB-class configurations the baseline
+//! processes 10–17.5 M updates/s, SALSA is 17–23 % slower, Pyramid ≈ 20 %
+//! slower and ABC ≈ 75 % slower, while AEE-style estimators are faster than
+//! all of them; this bench reproduces those relative positions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use salsa_bench::builders::*;
+use salsa_core::traits::MergeOp;
+use salsa_workloads::TraceSpec;
+
+const STREAM_LEN: usize = 200_000;
+const BUDGET: usize = 512 * 1024;
+
+fn bench_updates(c: &mut Criterion) {
+    let items = TraceSpec::CaidaNy18
+        .generate(STREAM_LEN, 42)
+        .items()
+        .to_vec();
+    let mut group = c.benchmark_group("update_throughput_512KB");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.sample_size(10);
+
+    let builders: Vec<(&str, SketchBuilder)> = vec![
+        ("baseline_cms", Box::new(|seed| baseline_cms(BUDGET, seed))),
+        (
+            "salsa_cms",
+            Box::new(|seed| salsa_cms(BUDGET, 8, MergeOp::Max, seed)),
+        ),
+        (
+            "salsa_cms_compact",
+            Box::new(|seed| salsa_cms_compact(BUDGET, 8, MergeOp::Max, seed)),
+        ),
+        (
+            "tango_cms",
+            Box::new(|seed| tango_cms(BUDGET, 8, MergeOp::Max, seed)),
+        ),
+        ("baseline_cus", Box::new(|seed| baseline_cus(BUDGET, seed))),
+        ("salsa_cus", Box::new(|seed| salsa_cus(BUDGET, 8, seed))),
+        ("baseline_cs", Box::new(|seed| baseline_cs(BUDGET, seed))),
+        ("salsa_cs", Box::new(|seed| salsa_cs(BUDGET, 8, seed))),
+        ("pyramid", Box::new(|seed| pyramid_cms(BUDGET, seed))),
+        ("abc", Box::new(|seed| abc_cms(BUDGET, seed))),
+        (
+            "aee_max_accuracy",
+            Box::new(|seed| aee_max_accuracy(BUDGET, seed)),
+        ),
+        (
+            "aee_max_speed",
+            Box::new(|seed| aee_max_speed(BUDGET, seed)),
+        ),
+        ("salsa_aee", Box::new(|seed| salsa_aee(BUDGET, seed))),
+        (
+            "salsa_aee10",
+            Box::new(|seed| salsa_aee_d(BUDGET, 10, seed)),
+        ),
+    ];
+
+    for (name, build) in &builders {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter_batched(
+                || build(7),
+                |mut named| {
+                    for &item in &items {
+                        named.sketch.update(item, 1);
+                    }
+                    named
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 13: Cold Filter with a baseline CUS stage 2 vs a SALSA CUS
+//! stage 2 — AAE and ARE as a function of memory on the NY18-like trace.
+//!
+//! Output columns: `memory_kb,algorithm,aae_mean,aae_ci95,are_mean,are_ci95`.
+
+use salsa_bench::*;
+use salsa_sketches::prelude::*;
+use salsa_workloads::TraceSpec;
+
+/// Builds a Cold Filter for a total budget: a quarter of the memory goes to
+/// the 4-bit stage-1 filter and the rest to stage 2, as in the authors'
+/// recommended configuration.
+fn build(salsa_stage2: bool, budget: usize, seed: u64) -> Box<dyn FrequencyEstimator> {
+    let stage1_budget = budget / 4;
+    let stage2_budget = budget - stage1_budget;
+    let stage1_width = width_for_budget(stage1_budget, 3, 4);
+    if salsa_stage2 {
+        let w = width_for_budget_bits(stage2_budget, 3, 8, 1.0);
+        Box::new(ColdFilter::salsa(3, stage1_width, 3, w, 8, seed))
+    } else {
+        let w = width_for_budget(stage2_budget, 3, 32);
+        Box::new(ColdFilter::baseline(3, stage1_width, 3, w, 32, seed))
+    }
+}
+
+fn main() {
+    let args = Args::parse(2_000_000, 3);
+    csv_header(&[
+        "memory_kb",
+        "algorithm",
+        "aae_mean",
+        "aae_ci95",
+        "are_mean",
+        "are_ci95",
+    ]);
+    let budgets = if args.quick {
+        memory_sweep_quick()
+    } else {
+        memory_sweep()
+    };
+
+    for &budget in &budgets {
+        for (name, salsa_stage2) in [("Baseline", false), ("SALSA", true)] {
+            let mut aae = Vec::new();
+            let mut are = Vec::new();
+            for t in 0..args.trials.max(1) {
+                let seed = args.seed.wrapping_add(t as u64 * 104729);
+                let items = trace_items(TraceSpec::CaidaNy18, args.updates, seed);
+                let mut sketch = build(salsa_stage2, budget, seed);
+                let e = final_errors(sketch.as_mut(), &items, 0.0);
+                aae.push(e.aae);
+                are.push(e.are);
+            }
+            let aae_s = salsa_metrics::Summary::of(&aae);
+            let are_s = salsa_metrics::Summary::of(&are);
+            csv_row(&[
+                format!("{}", budget / 1024),
+                name.into(),
+                fmt(aae_s.mean),
+                fmt(aae_s.ci95),
+                fmt(are_s.mean),
+                fmt(are_s.ci95),
+            ]);
+        }
+    }
+}

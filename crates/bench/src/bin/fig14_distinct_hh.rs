@@ -1,0 +1,183 @@
+//! Figure 14: SALSA CMS vs baseline CMS on two additional tasks —
+//! (a–c) counting distinct elements with Linear Counting (ARE vs memory on
+//! the NY18-like and CH16-like traces, and vs Zipf skew at 8 MB), and
+//! (d–f) estimating heavy-hitter sizes (ARE vs threshold φ at 2 MB, and vs
+//! Zipf skew at φ = 10⁻⁴).
+//!
+//! Output columns: `panel,x,algorithm,are_mean,are_ci95`.
+
+use salsa_bench::*;
+use salsa_core::traits::MergeOp;
+use salsa_metrics::{relative_error, GroundTruth, Summary};
+use salsa_sketches::prelude::*;
+use salsa_workloads::TraceSpec;
+
+enum AnyCms {
+    Baseline(CountMin<FixedRow>),
+    Salsa(CountMin<SimpleSalsaRow>),
+}
+
+impl AnyCms {
+    fn build(salsa: bool, budget: usize, seed: u64) -> Self {
+        if salsa {
+            let w = width_for_budget_bits(budget, 4, 8, 1.0);
+            AnyCms::Salsa(CountMin::salsa(4, w, 8, MergeOp::Max, seed))
+        } else {
+            let w = width_for_budget(budget, 4, 32);
+            AnyCms::Baseline(CountMin::baseline(4, w, 32, seed))
+        }
+    }
+    fn update(&mut self, item: u64) {
+        match self {
+            AnyCms::Baseline(c) => c.update(item, 1),
+            AnyCms::Salsa(c) => c.update(item, 1),
+        }
+    }
+    fn estimate(&self, item: u64) -> u64 {
+        match self {
+            AnyCms::Baseline(c) => c.estimate(item),
+            AnyCms::Salsa(c) => c.estimate(item),
+        }
+    }
+    fn distinct(&self) -> Option<f64> {
+        match self {
+            AnyCms::Baseline(c) => c.estimate_distinct(),
+            AnyCms::Salsa(c) => c.estimate_distinct(),
+        }
+    }
+}
+
+fn distinct_trial(salsa: bool, budget: usize, items: &[u64]) -> Option<f64> {
+    let truth = GroundTruth::from_items(items);
+    let mut sketch = AnyCms::build(salsa, budget, 1);
+    for &item in items {
+        sketch.update(item);
+    }
+    sketch
+        .distinct()
+        .map(|est| relative_error(est, truth.distinct() as f64))
+}
+
+fn heavy_hitter_trial(salsa: bool, budget: usize, items: &[u64], phi: f64, seed: u64) -> f64 {
+    let truth = GroundTruth::from_items(items);
+    let mut sketch = AnyCms::build(salsa, budget, seed);
+    for &item in items {
+        sketch.update(item);
+    }
+    let pairs = truth
+        .heavy_hitters(phi)
+        .into_iter()
+        .map(|(item, count)| (count, sketch.estimate(item)));
+    salsa_metrics::average_errors(pairs).are
+}
+
+fn main() {
+    let args = Args::parse(2_000_000, 3);
+    csv_header(&["panel", "x", "algorithm", "are_mean", "are_ci95"]);
+
+    // (a, b) Distinct count ARE vs memory on NY18/CH16 stand-ins.
+    let budgets: Vec<usize> = if args.quick {
+        vec![1 << 20, 4 << 20]
+    } else {
+        vec![512, 1024, 2048, 4096, 8192, 16384]
+            .into_iter()
+            .map(|kb| kb * 1024)
+            .collect()
+    };
+    for spec in [TraceSpec::CaidaNy18, TraceSpec::CaidaCh16] {
+        for &budget in &budgets {
+            for (name, salsa) in [("Baseline", false), ("SALSA", true)] {
+                let mut values = Vec::new();
+                for t in 0..args.trials.max(1) {
+                    let seed = args.seed.wrapping_add(t as u64 * 31);
+                    let items = trace_items(spec, args.updates, seed);
+                    if let Some(rel) = distinct_trial(salsa, budget, &items) {
+                        values.push(rel);
+                    }
+                }
+                if values.is_empty() {
+                    // Linear counting saturated: no estimate at this budget,
+                    // exactly as in the paper's truncated curves.
+                    continue;
+                }
+                let s = Summary::of(&values);
+                csv_row(&[
+                    format!("distinct_vs_memory_{}", spec.name()),
+                    format!("{}", budget / 1024),
+                    name.into(),
+                    fmt(s.mean),
+                    fmt(s.ci95),
+                ]);
+            }
+        }
+    }
+
+    // (c) Distinct count ARE vs skew at 8 MB.
+    for skew in [0.6, 0.8, 1.0, 1.2, 1.4] {
+        let spec = TraceSpec::Zipf {
+            universe: 1_000_000,
+            skew,
+        };
+        for (name, salsa) in [("Baseline", false), ("SALSA", true)] {
+            let mut values = Vec::new();
+            for t in 0..args.trials.max(1) {
+                let seed = args.seed.wrapping_add(t as u64 * 53);
+                let items = trace_items(spec, args.updates, seed);
+                if let Some(rel) = distinct_trial(salsa, 8 << 20, &items) {
+                    values.push(rel);
+                }
+            }
+            if values.is_empty() {
+                continue;
+            }
+            let s = Summary::of(&values);
+            csv_row(&[
+                "distinct_vs_skew_8mb".into(),
+                format!("{skew}"),
+                name.into(),
+                fmt(s.mean),
+                fmt(s.ci95),
+            ]);
+        }
+    }
+
+    // (d, e) Heavy-hitter ARE vs threshold φ at 2 MB.
+    for spec in [TraceSpec::CaidaNy18, TraceSpec::CaidaCh16] {
+        for phi in [1e-4, 3e-4, 1e-3, 3e-3, 1e-2] {
+            for (name, salsa) in [("Baseline", false), ("SALSA", true)] {
+                let summary = run_trials(args.trials, args.seed, |seed| {
+                    let items = trace_items(spec, args.updates, seed);
+                    heavy_hitter_trial(salsa, 2 << 20, &items, phi, seed)
+                });
+                csv_row(&[
+                    format!("hh_vs_threshold_{}", spec.name()),
+                    format!("{phi:e}"),
+                    name.into(),
+                    fmt(summary.mean),
+                    fmt(summary.ci95),
+                ]);
+            }
+        }
+    }
+
+    // (f) Heavy-hitter ARE vs skew at φ = 10⁻⁴, 2 MB.
+    for skew in [0.6, 0.8, 1.0, 1.2, 1.4] {
+        let spec = TraceSpec::Zipf {
+            universe: 1_000_000,
+            skew,
+        };
+        for (name, salsa) in [("Baseline", false), ("SALSA", true)] {
+            let summary = run_trials(args.trials, args.seed, |seed| {
+                let items = trace_items(spec, args.updates, seed);
+                heavy_hitter_trial(salsa, 2 << 20, &items, 1e-4, seed)
+            });
+            csv_row(&[
+                "hh_vs_skew_phi1e-4".into(),
+                format!("{skew}"),
+                name.into(),
+                fmt(summary.mean),
+                fmt(summary.ci95),
+            ]);
+        }
+    }
+}

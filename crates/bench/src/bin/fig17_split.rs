@@ -1,0 +1,52 @@
+//! Figure 17: effect of splitting counters after downsampling in SALSA-AEE —
+//! on-arrival NRMSE vs memory on the NY18-like and CH16-like traces, with and
+//! without splitting.
+//!
+//! Output columns: `trace,memory_kb,algorithm,nrmse_mean,nrmse_ci95`.
+
+use salsa_bench::*;
+use salsa_sketches::prelude::*;
+use salsa_workloads::TraceSpec;
+
+fn build(split: bool, budget: usize, seed: u64) -> Box<dyn FrequencyEstimator> {
+    let w = width_for_budget_bits(budget, CMS_DEPTH, 8, 1.0);
+    let mut config = SalsaAeeConfig::new(CMS_DEPTH, w);
+    config.split_after_downsample = split;
+    Box::new(SalsaAee::new(config, seed))
+}
+
+fn main() {
+    let args = Args::parse(2_000_000, 3);
+    csv_header(&[
+        "trace",
+        "memory_kb",
+        "algorithm",
+        "nrmse_mean",
+        "nrmse_ci95",
+    ]);
+    let budgets = if args.quick {
+        memory_sweep_quick()
+    } else {
+        memory_sweep()
+    };
+
+    for spec in [TraceSpec::CaidaNy18, TraceSpec::CaidaCh16] {
+        for &budget in &budgets {
+            for (name, split) in [("SALSA AEE", false), ("SALSA AEE Split", true)] {
+                let summary = run_trials(args.trials, args.seed, |seed| {
+                    let items = trace_items(spec, args.updates, seed);
+                    let mut sketch = build(split, budget, seed);
+                    let (err, _) = on_arrival(sketch.as_mut(), &items);
+                    err.nrmse()
+                });
+                csv_row(&[
+                    spec.name(),
+                    format!("{}", budget / 1024),
+                    name.into(),
+                    fmt(summary.mean),
+                    fmt(summary.ci95),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the Pyramid and ABC re-implementations.
+
+use proptest::prelude::*;
+use salsa_competitors::{AbcSketch, PyramidSketch};
+
+fn stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..500, 1u64..20), 1..300)
+}
+
+fn exact(updates: &[(u64, u64)]) -> std::collections::HashMap<u64, u64> {
+    let mut m = std::collections::HashMap::new();
+    for &(item, weight) in updates {
+        *m.entry(item).or_insert(0) += weight;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pyramid_never_underestimates(updates in stream(), seed in 0u64..500) {
+        let mut p = PyramidSketch::new(3, 256, 8, seed);
+        for &(item, w) in &updates {
+            p.update(item, w);
+        }
+        for (&item, &truth) in &exact(&updates) {
+            prop_assert!(p.estimate(item) >= truth,
+                "item {}: {} < {}", item, p.estimate(item), truth);
+        }
+    }
+
+    #[test]
+    fn pyramid_is_exact_for_an_isolated_heavy_item(weight in 1u64..2_000_000, seed in 0u64..100) {
+        // A single item, wide sketch: the multi-layer reconstruction must be
+        // exact no matter how many carries happened.
+        let mut p = PyramidSketch::new(2, 1 << 12, 8, seed);
+        p.update(99, weight);
+        prop_assert_eq!(p.estimate(99), weight);
+    }
+
+    #[test]
+    fn abc_never_underestimates_up_to_its_cap(updates in stream(), seed in 0u64..500) {
+        let mut abc = AbcSketch::new(3, 512, 8, seed);
+        for &(item, w) in &updates {
+            abc.update(item, w);
+        }
+        for (&item, &truth) in &exact(&updates) {
+            // ABC's only guaranteed floor is min(truth, single-counter cap):
+            // a counter that cannot borrow saturates at 255.
+            let floor = truth.min(abc.single_capacity());
+            prop_assert!(abc.estimate(item) >= floor);
+            // And no estimate can exceed the combined-counter cap.
+            prop_assert!(abc.estimate(item) <= abc.combined_capacity());
+        }
+    }
+
+    #[test]
+    fn abc_combined_state_is_always_consistent(updates in stream(), seed in 0u64..500) {
+        let mut abc = AbcSketch::new(3, 128, 8, seed);
+        for &(item, w) in &updates {
+            abc.update(item, w);
+        }
+        // Combined halves always come in adjacent (left, right) pairs — the
+        // public invariant observable through combined_slots() parity.
+        prop_assert_eq!(abc.combined_slots() % 2, 0);
+    }
+
+    #[test]
+    fn light_streams_are_exact_for_both(updates in prop::collection::vec((0u64..50, 1u64..3), 1..40), seed in 0u64..100) {
+        let mut p = PyramidSketch::new(4, 1 << 12, 8, seed);
+        let mut abc = AbcSketch::new(4, 1 << 12, 8, seed);
+        for &(item, w) in &updates {
+            p.update(item, w);
+            abc.update(item, w);
+        }
+        for (&item, &truth) in &exact(&updates) {
+            prop_assert_eq!(p.estimate(item), truth);
+            prop_assert_eq!(abc.estimate(item), truth);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The merge-layout encoding abstraction.
+//!
+//! SALSA needs to record, for every base counter slot, how large the merged
+//! counter containing it currently is.  The paper gives two encodings:
+//!
+//! * the **simple encoding** — one merge bit per counter
+//!   ([`crate::bitmap::MergeBitmap`]), and
+//! * the **near-optimal encoding** — a mixed-radix layout code of ⌈log₂ a₅⌉ =
+//!   19 bits per 32 counters, i.e. ≤ 0.594 bits per counter
+//!   ([`crate::compact::LayoutCodes`]).
+//!
+//! [`crate::row::SalsaRow`] is generic over this trait so both encodings
+//! share the counter/merge logic and can be compared like-for-like in the
+//! `encoding` benchmark.
+
+/// How a SALSA row records which counters have merged.
+///
+/// Levels are powers of two: a counter at level `ℓ` spans `2^ℓ` base slots
+/// and has `s·2^ℓ` bits.
+pub trait MergeEncoding: Clone + std::fmt::Debug {
+    /// Creates an encoding for a row of `width` base counters.
+    fn for_width(width: usize) -> Self;
+
+    /// Level (0-based) of the merged counter containing base index `idx`,
+    /// never exceeding `max_level`.
+    fn level_of(&self, idx: usize, max_level: u32) -> u32;
+
+    /// Records that the level-`level` block containing `idx` is now a single
+    /// merged counter (all of its sub-blocks are merged as well).
+    fn mark_merged(&mut self, idx: usize, level: u32);
+
+    /// Splits the level-`level` block containing `idx` back into its two
+    /// level-`level − 1` halves (used by counter splitting after estimator
+    /// downsampling).  `level ≥ 1`.
+    fn unmark_level(&mut self, idx: usize, level: u32);
+
+    /// Encoding overhead, in bits, for a row of `width` base counters.
+    fn overhead_bits(width: usize) -> usize;
+}

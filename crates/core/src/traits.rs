@@ -1,0 +1,105 @@
+//! Row traits: the interface between counter arrays and sketches.
+//!
+//! Every sketch in `salsa-sketches` is generic over a row type.  Plugging in
+//! a [`crate::fixed::FixedRow`] gives the vanilla (baseline) sketch, a
+//! [`crate::row::SalsaRow`] gives the SALSA variant, a
+//! [`crate::tango::TangoRow`] gives the Tango variant, and so on — exactly
+//! how the paper "SALSA-fies" existing sketches without changing their
+//! update/query logic.
+
+/// A row of non-negative counters (used by CMS, CUS, Cold Filter, AEE).
+pub trait Row {
+    /// Number of *base* counter slots in the row.
+    fn width(&self) -> usize;
+
+    /// Current value of the counter containing base slot `idx`.
+    fn read(&self, idx: usize) -> u64;
+
+    /// Adds `value` to the counter containing base slot `idx` (Count-Min
+    /// update), merging / saturating on overflow as the row dictates.
+    fn add(&mut self, idx: usize, value: u64);
+
+    /// Raises the counter containing `idx` to at least `target`
+    /// (conservative-update style); does nothing if it is already ≥ `target`.
+    fn raise_to(&mut self, idx: usize, target: u64);
+
+    /// Memory consumed by the row in bytes, **including** any merge-encoding
+    /// overhead (the paper's memory axes include this overhead).
+    fn size_bytes(&self) -> usize;
+
+    /// Estimated number of base counter slots that are still zero, used by
+    /// the Linear Counting distinct-count estimator.
+    ///
+    /// For fixed-width rows this is exact; for SALSA rows it applies the
+    /// paper's heuristic (Section V, "Count Distinct"): merged counters are
+    /// assumed to hide zero sub-slots at the same rate `f` observed among
+    /// unmerged slots.
+    fn estimated_zero_base_slots(&self) -> f64;
+
+    /// Resets every counter to zero without deallocating.
+    fn reset(&mut self);
+}
+
+/// A row of signed counters (used by the Count Sketch).
+pub trait SignedRow {
+    /// Number of *base* counter slots in the row.
+    fn width(&self) -> usize;
+
+    /// Current (signed) value of the counter containing base slot `idx`.
+    fn read(&self, idx: usize) -> i64;
+
+    /// Adds `value` (possibly negative) to the counter containing `idx`.
+    fn add(&mut self, idx: usize, value: i64);
+
+    /// Memory consumed by the row in bytes, including encoding overhead.
+    fn size_bytes(&self) -> usize;
+
+    /// Resets every counter to zero without deallocating.
+    fn reset(&mut self);
+}
+
+/// How two counters combine when SALSA merges them.
+///
+/// * `Sum` is correct in the (Strict) Turnstile model and is what the Count
+///   Sketch must use.
+/// * `Max` is tighter in the Cash Register model (Theorem V.2) and is what
+///   SALSA CUS must use (Theorem V.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MergeOp {
+    /// Merged value = sum of the merged counters.
+    Sum,
+    /// Merged value = maximum of the merged counters.
+    #[default]
+    Max,
+}
+
+impl MergeOp {
+    /// Combines two counter values under this merge operation (saturating).
+    #[inline(always)]
+    pub fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            MergeOp::Sum => a.saturating_add(b),
+            MergeOp::Max => a.max(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_op_combines() {
+        assert_eq!(MergeOp::Sum.combine(3, 4), 7);
+        assert_eq!(MergeOp::Max.combine(3, 4), 4);
+        assert_eq!(MergeOp::Sum.combine(u64::MAX, 1), u64::MAX);
+        assert_eq!(MergeOp::Max.combine(u64::MAX, 1), u64::MAX);
+    }
+
+    #[test]
+    fn default_merge_op_is_max() {
+        // The evaluation (Fig. 5) concludes max-merging is the better default
+        // for cash-register streams, which is the default stream model here.
+        assert_eq!(MergeOp::default(), MergeOp::Max);
+    }
+}

@@ -1,0 +1,161 @@
+#![allow(clippy::needless_range_loop)]
+//! Property-based tests of the SALSA counter-row invariants.
+//!
+//! These check, over arbitrary update sequences, the structural guarantees
+//! the accuracy theorems of the paper rest on:
+//!
+//! * a sum-merge SALSA row always holds, in the counter containing slot `j`,
+//!   exactly the total weight that was added to the slots it covers;
+//! * a max-merge SALSA row never under-estimates the per-slot totals and
+//!   never over-estimates the sum-merge row;
+//! * the compact (near-optimal) encoding behaves identically to the simple
+//!   one;
+//! * Tango reads are bounded between the per-slot ground truth and the SALSA
+//!   reads (Tango counters are always contained in SALSA counters);
+//! * sign-magnitude signed rows track exact signed sums.
+
+use proptest::prelude::*;
+use salsa_core::prelude::*;
+
+const WIDTH: usize = 32;
+
+/// An arbitrary stream of (slot, weight) updates.
+fn updates() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0..WIDTH, 1u64..2_000), 0..400)
+}
+
+/// Per-slot ground-truth sums.
+fn slot_sums(updates: &[(usize, u64)]) -> Vec<u64> {
+    let mut sums = vec![0u64; WIDTH];
+    for &(idx, v) in updates {
+        sums[idx] += v;
+    }
+    sums
+}
+
+/// Sum of ground truth over the SALSA block that currently contains `idx`.
+fn block_sum(sums: &[u64], idx: usize, level: u32) -> u64 {
+    let start = (idx >> level) << level;
+    sums[start..start + (1 << level)].iter().sum()
+}
+
+proptest! {
+    #[test]
+    fn sum_merge_row_equals_block_ground_truth(updates in updates()) {
+        let mut row = SimpleSalsaRow::new(WIDTH, 8, MergeOp::Sum);
+        for &(idx, v) in &updates {
+            row.add(idx, v);
+        }
+        let sums = slot_sums(&updates);
+        for idx in 0..WIDTH {
+            let level = row.level_of(idx);
+            prop_assert_eq!(row.read(idx), block_sum(&sums, idx, level));
+        }
+    }
+
+    #[test]
+    fn max_merge_never_underestimates_and_is_below_sum_merge(updates in updates()) {
+        let mut max_row = SimpleSalsaRow::new(WIDTH, 8, MergeOp::Max);
+        let mut sum_row = SimpleSalsaRow::new(WIDTH, 8, MergeOp::Sum);
+        for &(idx, v) in &updates {
+            max_row.add(idx, v);
+            sum_row.add(idx, v);
+        }
+        let sums = slot_sums(&updates);
+        for idx in 0..WIDTH {
+            // Never below the true per-slot total (over-estimate guarantee).
+            prop_assert!(max_row.read(idx) >= sums[idx]);
+            // Never above the sum-merge value for the same slot.
+            prop_assert!(max_row.read(idx) <= sum_row.read(idx));
+        }
+    }
+
+    #[test]
+    fn compact_encoding_matches_simple_encoding(updates in updates()) {
+        let mut simple = SalsaRow::<MergeBitmap>::new(WIDTH, 8, MergeOp::Sum);
+        let mut compact = SalsaRow::<LayoutCodes>::new(WIDTH, 8, MergeOp::Sum);
+        for &(idx, v) in &updates {
+            simple.add(idx, v);
+            compact.add(idx, v);
+        }
+        for idx in 0..WIDTH {
+            prop_assert_eq!(simple.read(idx), compact.read(idx));
+            prop_assert_eq!(simple.level_of(idx), compact.level_of(idx));
+        }
+    }
+
+    #[test]
+    fn tango_is_sandwiched_between_truth_and_salsa(updates in updates()) {
+        let mut tango = TangoRow::new(WIDTH, 8, MergeOp::Max);
+        let mut salsa = SimpleSalsaRow::new(WIDTH, 8, MergeOp::Max);
+        for &(idx, v) in &updates {
+            tango.add(idx, v);
+            salsa.add(idx, v);
+        }
+        let sums = slot_sums(&updates);
+        for idx in 0..WIDTH {
+            prop_assert!(tango.read(idx) >= sums[idx]);
+            prop_assert!(tango.read(idx) <= salsa.read(idx),
+                "slot {}: tango {} > salsa {}", idx, tango.read(idx), salsa.read(idx));
+        }
+    }
+
+    #[test]
+    fn raise_to_dominates_and_never_shrinks(targets in prop::collection::vec((0..WIDTH, 1u64..100_000), 0..200)) {
+        let mut row = SimpleSalsaRow::new(WIDTH, 8, MergeOp::Max);
+        let mut best = vec![0u64; WIDTH];
+        for &(idx, t) in &targets {
+            row.raise_to(idx, t);
+            best[idx] = best[idx].max(t);
+        }
+        for idx in 0..WIDTH {
+            prop_assert!(row.read(idx) >= best[idx]);
+        }
+    }
+
+    #[test]
+    fn signed_row_tracks_exact_sums_while_in_range(
+        updates in prop::collection::vec((0..WIDTH, -500i64..500), 0..300)
+    ) {
+        let mut row = SimpleSalsaSignedRow::new(WIDTH, 8);
+        let mut sums = vec![0i64; WIDTH];
+        for &(idx, v) in &updates {
+            row.add(idx, v);
+            sums[idx] += v;
+        }
+        // The counter containing idx holds the signed sum over its block.
+        for idx in 0..WIDTH {
+            let level = row.level_of(idx);
+            let start = (idx >> level) << level;
+            let expected: i64 = sums[start..start + (1 << level)].iter().sum();
+            prop_assert_eq!(row.read(idx), expected);
+        }
+    }
+
+    #[test]
+    fn splitting_preserves_overestimation(updates in updates()) {
+        let mut row = SimpleSalsaRow::new(WIDTH, 8, MergeOp::Max);
+        for &(idx, v) in &updates {
+            row.add(idx, v);
+        }
+        let sums = slot_sums(&updates);
+        // Halve everything (as AEE downsampling would), then split.
+        row.map_counters(|v| v / 2);
+        row.split_all();
+        for idx in 0..WIDTH {
+            prop_assert!(row.read(idx) + 1 >= sums[idx] / 2);
+        }
+    }
+
+    #[test]
+    fn fixed_row_saturates_but_never_exceeds_truth_plus_cap(updates in updates()) {
+        let mut row = FixedRow::new(WIDTH, 8);
+        for &(idx, v) in &updates {
+            row.add(idx, v);
+        }
+        let sums = slot_sums(&updates);
+        for idx in 0..WIDTH {
+            prop_assert_eq!(row.read(idx), sums[idx].min(255));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! A fast, non-cryptographic hasher for ground-truth tables.
+//!
+//! Exact per-item frequency tables (used by the metrics crate, the tests and
+//! the experiment harness to compute errors against ground truth) hash
+//! millions of integer keys; the standard library's SipHash is a measurable
+//! bottleneck there.  `FxHasher64` implements the well-known "Fx" multiply-
+//! xor hash (as popularised by the Rust compiler) which is extremely fast on
+//! integer keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant of the Fx hash (64-bit variant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-xor hasher for integer-like keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline(always)]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher64`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher64>>;
+
+/// A `HashSet` keyed with [`FxHasher64`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher64>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for k in 0..10_000u64 {
+            m.insert(k, k * 2);
+        }
+        for k in 0..10_000u64 {
+            assert_eq!(m[&k], k * 2);
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for k in 0..1000u64 {
+            s.insert(k % 100);
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn hasher_spreads_sequential_keys() {
+        let mut buckets = vec![0usize; 256];
+        for k in 0..100_000u64 {
+            let mut h = FxHasher64::default();
+            h.write_u64(k);
+            buckets[(h.finish() & 0xFF) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        assert!(
+            max < 3 * min,
+            "Fx hash distributes sequential keys poorly: {min}..{max}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Pairwise-independent sign hashes for the Count Sketch.
+
+use crate::{BobHash, SeedSequence};
+
+/// A family of `d` pairwise-independent `{+1, -1}` hash functions, one per
+/// Count Sketch row.
+///
+/// Each function is implemented as a multiply-shift hash whose top bit
+/// selects the sign; a per-row odd multiplier and additive constant are
+/// derived from the seed.  This family is 2-universal, which is what the
+/// Count Sketch analysis requires.
+///
+/// # Examples
+///
+/// ```
+/// use salsa_hash::SignHash;
+///
+/// let g = SignHash::new(5, 3);
+/// let s = g.sign(0, 42);
+/// assert!(s == 1 || s == -1);
+/// assert_eq!(s, g.sign(0, 42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignHash {
+    multipliers: Vec<u64>,
+    offsets: Vec<u64>,
+}
+
+impl SignHash {
+    /// Creates `depth` independent sign hashes from a master seed.
+    pub fn new(depth: usize, seed: u64) -> Self {
+        assert!(depth > 0, "a sketch needs at least one row");
+        // Derive the multiplicative constants from BobHash of the row index
+        // so the sign hashes are independent of the row (index) hashes even
+        // when both were built from the same master seed.
+        let mut seeds = SeedSequence::new(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        let mut multipliers = Vec::with_capacity(depth);
+        let mut offsets = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            let base = BobHash::new(seeds.next_seed());
+            // Multiplier must be odd for multiply-shift to be 2-universal.
+            multipliers.push(base.hash_u64(0x1) | 1);
+            offsets.push(base.hash_u64(0x2));
+        }
+        Self {
+            multipliers,
+            offsets,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// Sign (`+1` or `-1`) of `key` in row `row`.
+    #[inline(always)]
+    pub fn sign(&self, row: usize, key: u64) -> i64 {
+        let x = key
+            .wrapping_mul(self.multipliers[row])
+            .wrapping_add(self.offsets[row]);
+        if x >> 63 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs_are_deterministic() {
+        let g = SignHash::new(3, 11);
+        for key in 0..100u64 {
+            for row in 0..3 {
+                assert_eq!(g.sign(row, key), g.sign(row, key));
+            }
+        }
+    }
+
+    #[test]
+    fn signs_are_roughly_balanced() {
+        let g = SignHash::new(1, 19);
+        let n = 100_000u64;
+        let sum: i64 = (0..n).map(|k| g.sign(0, k)).sum();
+        // Random ±1 sum should be O(sqrt(n)); allow a generous margin.
+        assert!(
+            sum.abs() < 4 * (n as f64).sqrt() as i64,
+            "sign hash is biased: sum = {sum}"
+        );
+    }
+
+    #[test]
+    fn rows_are_uncorrelated() {
+        let g = SignHash::new(2, 23);
+        let n = 100_000u64;
+        let corr: i64 = (0..n).map(|k| g.sign(0, k) * g.sign(1, k)).sum();
+        assert!(
+            corr.abs() < 4 * (n as f64).sqrt() as i64,
+            "rows are correlated: {corr}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SignHash::new(1, 1);
+        let b = SignHash::new(1, 2);
+        let disagreements = (0..1000u64)
+            .filter(|&k| a.sign(0, k) != b.sign(0, k))
+            .count();
+        assert!(disagreements > 300, "seeds should decorrelate sign hashes");
+    }
+}

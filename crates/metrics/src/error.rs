@@ -1,0 +1,200 @@
+//! Error metrics: on-arrival NRMSE, AAE/ARE, relative error.
+
+use salsa_hash::FxHashMap;
+
+/// Accumulates on-arrival estimation errors and reports MSE / RMSE / NRMSE.
+///
+/// The on-arrival model asks, for each arriving element, for an estimate of
+/// its frequency *so far*; the error of update `i` is
+/// `e_i = estimate − true frequency`.  Following the paper:
+/// `MSE = n⁻¹·Σ e_i²`, `RMSE = √MSE`, `NRMSE = RMSE / n`, so NRMSE is a
+/// unitless quantity in `[0, 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct OnArrivalError {
+    sum_squared: f64,
+    samples: u64,
+}
+
+impl OnArrivalError {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one on-arrival error sample.
+    #[inline]
+    pub fn record(&mut self, estimate: i64, truth: i64) {
+        let e = (estimate - truth) as f64;
+        self.sum_squared += e * e;
+        self.samples += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean squared error.
+    pub fn mse(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_squared / self.samples as f64
+        }
+    }
+
+    /// Root mean squared error.
+    pub fn rmse(&self) -> f64 {
+        self.mse().sqrt()
+    }
+
+    /// Normalized RMSE (`RMSE / n`).
+    pub fn nrmse(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.rmse() / self.samples as f64
+        }
+    }
+}
+
+/// The AAE / ARE pair over a set of items.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AverageErrors {
+    /// Average Absolute Error: `(1/|U⁺|)·Σ |f̂ − f|`.
+    pub aae: f64,
+    /// Average Relative Error: `(1/|U⁺|)·Σ |f̂ − f| / f`.
+    pub are: f64,
+}
+
+/// Computes AAE and ARE over the given `(true frequency, estimate)` pairs —
+/// typically every item with non-zero frequency, or only the heavy hitters
+/// above a threshold φ (Figs. 6, 14, 19, 20).
+pub fn average_errors(pairs: impl IntoIterator<Item = (u64, u64)>) -> AverageErrors {
+    let mut aae = 0.0;
+    let mut are = 0.0;
+    let mut n = 0usize;
+    for (truth, estimate) in pairs {
+        if truth == 0 {
+            continue;
+        }
+        let abs_err = (estimate as f64 - truth as f64).abs();
+        aae += abs_err;
+        are += abs_err / truth as f64;
+        n += 1;
+    }
+    if n == 0 {
+        AverageErrors { aae: 0.0, are: 0.0 }
+    } else {
+        AverageErrors {
+            aae: aae / n as f64,
+            are: are / n as f64,
+        }
+    }
+}
+
+/// Relative error of a scalar estimate (used for entropy, moments, distinct
+/// counts): `|estimate − truth| / truth`.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+/// NRMSE of per-item frequency-change estimates against the exact changes
+/// (the change-detection metric of Fig. 15c/d: the error is evaluated over
+/// the set of items appearing in either half, not on arrival).
+pub fn change_detection_nrmse(
+    exact: &FxHashMap<u64, i64>,
+    mut estimate: impl FnMut(u64) -> i64,
+    normalizer: u64,
+) -> f64 {
+    if exact.is_empty() || normalizer == 0 {
+        return 0.0;
+    }
+    let mut sum_sq = 0.0;
+    for (&item, &truth) in exact {
+        let e = (estimate(item) - truth) as f64;
+        sum_sq += e * e;
+    }
+    (sum_sq / exact.len() as f64).sqrt() / normalizer as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_arrival_error_formulas() {
+        let mut acc = OnArrivalError::new();
+        acc.record(12, 10); // e = 2
+        acc.record(9, 10); // e = -1
+        acc.record(10, 10); // e = 0
+        assert_eq!(acc.samples(), 3);
+        let mse = (4.0 + 1.0 + 0.0) / 3.0;
+        assert!((acc.mse() - mse).abs() < 1e-12);
+        assert!((acc.rmse() - mse.sqrt()).abs() < 1e-12);
+        assert!((acc.nrmse() - mse.sqrt() / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let acc = OnArrivalError::new();
+        assert_eq!(acc.mse(), 0.0);
+        assert_eq!(acc.nrmse(), 0.0);
+    }
+
+    #[test]
+    fn nrmse_is_normalized_by_stream_length() {
+        // Constant absolute error of 10 over longer streams → smaller NRMSE.
+        let mut short = OnArrivalError::new();
+        let mut long = OnArrivalError::new();
+        for _ in 0..100 {
+            short.record(10, 0);
+        }
+        for _ in 0..10_000 {
+            long.record(10, 0);
+        }
+        assert!(long.nrmse() < short.nrmse());
+        assert!((short.rmse() - long.rmse()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_errors_formulas() {
+        let pairs = vec![(10u64, 12u64), (100, 100), (1, 3)];
+        let e = average_errors(pairs);
+        assert!((e.aae - (2.0 + 0.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert!((e.are - (0.2 + 0.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_errors_skip_zero_frequency_items() {
+        let e = average_errors(vec![(0u64, 5u64), (10, 10)]);
+        assert_eq!(e.aae, 0.0);
+        assert_eq!(e.are, 0.0);
+    }
+
+    #[test]
+    fn relative_error_handles_zero_truth() {
+        assert_eq!(relative_error(5.0, 0.0), f64::INFINITY);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn change_detection_nrmse_formula() {
+        let mut exact: FxHashMap<u64, i64> = FxHashMap::default();
+        exact.insert(1, 10);
+        exact.insert(2, -10);
+        let nrmse = change_detection_nrmse(&exact, |_| 0, 100);
+        assert!((nrmse - 10.0 / 100.0).abs() < 1e-12);
+        let perfect = change_detection_nrmse(&exact, |i| if i == 1 { 10 } else { -10 }, 100);
+        assert_eq!(perfect, 0.0);
+    }
+}

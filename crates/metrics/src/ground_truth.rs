@@ -1,0 +1,178 @@
+//! Exact ground-truth statistics of a stream.
+
+use salsa_hash::FxHashMap;
+
+/// Exact per-item frequencies and derived statistics for a (unit-weight)
+/// stream, used as the reference in every experiment.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    counts: FxHashMap<u64, u64>,
+    total: u64,
+}
+
+impl GroundTruth {
+    /// Builds ground truth from a stream of item identifiers.
+    pub fn from_items(items: &[u64]) -> Self {
+        let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
+        for &item in items {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+        Self {
+            total: items.len() as u64,
+            counts,
+        }
+    }
+
+    /// Creates an empty ground truth that can be built incrementally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of `item` and returns its updated frequency
+    /// (useful for on-arrival evaluation loops).
+    #[inline]
+    pub fn record(&mut self, item: u64) -> u64 {
+        self.total += 1;
+        let c = self.counts.entry(item).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// The exact frequency of `item`.
+    #[inline]
+    pub fn frequency(&self, item: u64) -> u64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Total stream volume `N`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct items (`F0`).
+    pub fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Iterates over `(item, frequency)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&i, &c)| (i, c))
+    }
+
+    /// The `p`-th frequency moment `F_p = Σ f^p`.
+    pub fn moment(&self, p: f64) -> f64 {
+        self.counts.values().map(|&c| (c as f64).powf(p)).sum()
+    }
+
+    /// The empirical entropy `H = log2(N) − (1/N)·Σ f·log2 f`.
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        let flogf: f64 = self
+            .counts
+            .values()
+            .map(|&c| (c as f64) * (c as f64).log2())
+            .sum();
+        n.log2() - flogf / n
+    }
+
+    /// Items with frequency at least `phi·N`, with their frequencies, sorted
+    /// by decreasing frequency.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u64, u64)> {
+        let threshold = (phi * self.total as f64).ceil().max(1.0) as u64;
+        let mut hh: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        hh.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hh
+    }
+
+    /// The `k` most frequent items, sorted by decreasing frequency.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.counts.iter().map(|(&i, &c)| (i, c)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroundTruth {
+        // 5×a, 3×b, 1×c
+        GroundTruth::from_items(&[1, 1, 1, 1, 1, 2, 2, 2, 3])
+    }
+
+    #[test]
+    fn frequencies_and_totals() {
+        let gt = sample();
+        assert_eq!(gt.total(), 9);
+        assert_eq!(gt.distinct(), 3);
+        assert_eq!(gt.frequency(1), 5);
+        assert_eq!(gt.frequency(2), 3);
+        assert_eq!(gt.frequency(99), 0);
+    }
+
+    #[test]
+    fn incremental_recording_matches_batch() {
+        let mut gt = GroundTruth::new();
+        for &i in &[1u64, 1, 1, 1, 1, 2, 2, 2, 3] {
+            gt.record(i);
+        }
+        let batch = sample();
+        assert_eq!(gt.total(), batch.total());
+        assert_eq!(gt.frequency(1), batch.frequency(1));
+        assert_eq!(gt.entropy(), batch.entropy());
+    }
+
+    #[test]
+    fn record_returns_running_count() {
+        let mut gt = GroundTruth::new();
+        assert_eq!(gt.record(5), 1);
+        assert_eq!(gt.record(5), 2);
+        assert_eq!(gt.record(6), 1);
+    }
+
+    #[test]
+    fn moments() {
+        let gt = sample();
+        assert!((gt.moment(1.0) - 9.0).abs() < 1e-12);
+        assert!((gt.moment(2.0) - (25.0 + 9.0 + 1.0)).abs() < 1e-12);
+        assert!((gt.moment(0.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_matches_direct_computation() {
+        let gt = sample();
+        let n = 9.0f64;
+        let expected = -(5.0 / n * (5.0f64 / n).log2()
+            + 3.0 / n * (3.0f64 / n).log2()
+            + 1.0 / n * (1.0f64 / n).log2());
+        assert!((gt.entropy() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_hitters_respect_threshold() {
+        let gt = sample();
+        // φ = 0.3 → threshold ⌈2.7⌉ = 3: items 1 and 2.
+        let hh = gt.heavy_hitters(0.3);
+        assert_eq!(hh, vec![(1, 5), (2, 3)]);
+        // φ = 0.5 → threshold 5: only item 1.
+        assert_eq!(gt.heavy_hitters(0.5), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn top_k_orders_by_frequency() {
+        let gt = sample();
+        assert_eq!(gt.top_k(2), vec![(1, 5), (2, 3)]);
+        assert_eq!(gt.top_k(10).len(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Means and 95 % confidence intervals over repeated trials.
+//!
+//! Every data point in the paper's figures is the mean of ten trials with a
+//! 95 % confidence interval computed with Student's t-distribution; this
+//! module reproduces that summary.
+
+/// Two-sided 95 % critical values of Student's t-distribution by degrees of
+/// freedom (1-based index; index 0 unused).  Beyond 30 degrees of freedom the
+/// normal approximation (1.96) is used.
+const T_95: [f64; 31] = [
+    f64::NAN,
+    12.706,
+    4.303,
+    3.182,
+    2.776,
+    2.571,
+    2.447,
+    2.365,
+    2.306,
+    2.262,
+    2.228,
+    2.201,
+    2.179,
+    2.160,
+    2.145,
+    2.131,
+    2.120,
+    2.110,
+    2.101,
+    2.093,
+    2.086,
+    2.080,
+    2.074,
+    2.069,
+    2.064,
+    2.060,
+    2.056,
+    2.052,
+    2.048,
+    2.045,
+    2.042,
+];
+
+/// Summary statistics of a set of trial measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of trials.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, `n − 1` denominator).
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval around the mean.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of trial measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize zero trials");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Self {
+                n,
+                mean,
+                std_dev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        let std_dev = var.sqrt();
+        let t = if n - 1 <= 30 { T_95[n - 1] } else { 1.96 };
+        Self {
+            n,
+            mean,
+            std_dev,
+            ci95: t * std_dev / (n as f64).sqrt(),
+        }
+    }
+
+    /// Lower bound of the 95 % confidence interval.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper bound of the 95 % confidence interval.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.ci95
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_have_zero_interval() {
+        let s = Summary::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_supported() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_example() {
+        // Values 1..=10: mean 5.5, sd ≈ 3.0277, t(9) = 2.262.
+        let values: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let s = Summary::of(&values);
+        assert!((s.mean - 5.5).abs() < 1e-12);
+        assert!((s.std_dev - 3.02765).abs() < 1e-4);
+        let expected_ci = 2.262 * 3.02765 / 10f64.sqrt();
+        assert!((s.ci95 - expected_ci).abs() < 1e-3);
+        assert!(s.lower() < s.mean && s.mean < s.upper());
+    }
+
+    #[test]
+    fn large_samples_use_normal_approximation() {
+        let values: Vec<f64> = (0..100).map(|v| (v % 10) as f64).collect();
+        let s = Summary::of(&values);
+        assert!(s.ci95 > 0.0);
+        assert!((s.ci95 - 1.96 * s.std_dev / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

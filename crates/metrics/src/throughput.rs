@@ -1,0 +1,100 @@
+//! Throughput measurement for the speed experiments.
+
+use std::time::{Duration, Instant};
+
+/// Measures update throughput (million operations per second), as plotted on
+/// the speed axes of Figs. 8 and 10 and reported in Section VI.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    start: Instant,
+    operations: u64,
+    elapsed: Option<Duration>,
+}
+
+impl Throughput {
+    /// Starts a measurement.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+            operations: 0,
+            elapsed: None,
+        }
+    }
+
+    /// Records that `n` operations were performed.
+    #[inline]
+    pub fn add_ops(&mut self, n: u64) {
+        self.operations += n;
+    }
+
+    /// Stops the clock (idempotent).
+    pub fn stop(&mut self) {
+        if self.elapsed.is_none() {
+            self.elapsed = Some(self.start.elapsed());
+        }
+    }
+
+    /// Number of operations recorded.
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Elapsed wall-clock time (stops the measurement if still running).
+    pub fn elapsed(&mut self) -> Duration {
+        self.stop();
+        self.elapsed.expect("stopped above")
+    }
+
+    /// Throughput in million operations per second.
+    pub fn mops(&mut self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            return f64::INFINITY;
+        }
+        self.operations as f64 / secs / 1e6
+    }
+}
+
+/// Convenience: times `f` over `operations` operations and returns
+/// (result, million-ops-per-second).
+pub fn measure<T>(operations: u64, f: impl FnOnce() -> T) -> (T, f64) {
+    let mut t = Throughput::start();
+    let out = f();
+    t.add_ops(operations);
+    (out, t.mops())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_positive_throughput() {
+        let mut t = Throughput::start();
+        let mut acc = 0u64;
+        for i in 0..100_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        t.add_ops(100_000);
+        assert!(acc > 0);
+        assert!(t.mops() > 0.0);
+        assert_eq!(t.operations(), 100_000);
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let mut t = Throughput::start();
+        t.add_ops(10);
+        let first = t.elapsed();
+        std::thread::sleep(Duration::from_millis(5));
+        let second = t.elapsed();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn measure_helper_returns_result() {
+        let (value, mops) = measure(1000, || (0..1000u64).sum::<u64>());
+        assert_eq!(value, 499_500);
+        assert!(mops > 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! A common interface for frequency-estimating sketches.
+//!
+//! The evaluation harness runs many different sketches (baseline and SALSA
+//! CMS/CUS/CS, Pyramid, ABC, AEE, …) through identical on-arrival loops; this
+//! trait is the small common surface they all expose.  Values are signed so
+//! Turnstile sketches (Count Sketch) fit the same interface; Cash-Register
+//! sketches simply require non-negative updates.
+
+/// A sketch that can ingest weighted item updates and estimate per-item
+/// frequencies.
+pub trait FrequencyEstimator {
+    /// Processes the update `⟨item, value⟩`.
+    fn update(&mut self, item: u64, value: i64);
+
+    /// Estimates the current frequency of `item`.
+    fn estimate(&self, item: u64) -> i64;
+
+    /// Total memory used by the sketch in bytes, including any encoding
+    /// overhead.
+    fn size_bytes(&self) -> usize;
+
+    /// A short human-readable name used in experiment output.
+    fn name(&self) -> String {
+        std::any::type_name::<Self>()
+            .rsplit("::")
+            .next()
+            .unwrap_or("sketch")
+            .to_string()
+    }
+}

@@ -1,0 +1,76 @@
+//! Helpers to size sketches for a memory budget.
+//!
+//! The paper's accuracy-versus-memory plots sweep the *total allocated
+//! memory* (including encoding overhead) and require row widths to be powers
+//! of two.  These helpers compute the widest power-of-two row that fits a
+//! byte budget given the per-counter cost.
+
+/// Returns the largest power-of-two row width such that `depth` rows of
+/// `bits_per_counter`-bit counters (plus `overhead_bits_per_counter` of
+/// encoding overhead per counter) fit within `budget_bytes`.
+///
+/// Returns at least 2 so degenerate budgets still produce a usable sketch.
+pub fn width_for_budget_bits(
+    budget_bytes: usize,
+    depth: usize,
+    bits_per_counter: u32,
+    overhead_bits_per_counter: f64,
+) -> usize {
+    assert!(depth > 0);
+    let budget_bits = budget_bytes as f64 * 8.0;
+    let per_counter = bits_per_counter as f64 + overhead_bits_per_counter;
+    let max_counters_per_row = budget_bits / (depth as f64 * per_counter);
+    let mut width = 2usize;
+    while (width * 2) as f64 <= max_counters_per_row {
+        width *= 2;
+    }
+    width
+}
+
+/// [`width_for_budget_bits`] with no encoding overhead — the baseline
+/// (fixed-width counter) case.
+pub fn width_for_budget(budget_bytes: usize, depth: usize, bits_per_counter: u32) -> usize {
+    width_for_budget_bits(budget_bytes, depth, bits_per_counter, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_configuration() {
+        // Fig. 4: the 2 MB baseline CMS uses w = 2^17 32-bit counters in each
+        // of 4 rows: 4 × 2^17 × 4 bytes = 2 MiB.
+        assert_eq!(width_for_budget(2 << 20, 4, 32), 1 << 17);
+    }
+
+    #[test]
+    fn salsa_with_overhead_fits_fewer_counters_than_raw() {
+        // SALSA with s = 8 pays 1 extra bit per counter, so at some budgets
+        // it ends up with the same power-of-two width as the raw 8-bit row,
+        // and never with more.
+        let raw = width_for_budget(1 << 20, 4, 8);
+        let salsa = width_for_budget_bits(1 << 20, 4, 8, 1.0);
+        assert!(salsa <= raw);
+        // But always at least 4× the number of 32-bit baseline counters.
+        let baseline = width_for_budget(1 << 20, 4, 32);
+        assert!(salsa >= baseline * 2);
+    }
+
+    #[test]
+    fn widths_are_powers_of_two_and_fit() {
+        for budget in [4 << 10, 64 << 10, 1 << 20, 8 << 20] {
+            for (bits, ovh) in [(32u32, 0.0), (8, 1.0), (8, 0.594)] {
+                let w = width_for_budget_bits(budget, 4, bits, ovh);
+                assert!(w.is_power_of_two());
+                let used_bits = 4.0 * w as f64 * (bits as f64 + ovh);
+                assert!(used_bits <= budget as f64 * 8.0, "budget exceeded");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_still_returns_a_row() {
+        assert_eq!(width_for_budget(1, 4, 32), 2);
+    }
+}

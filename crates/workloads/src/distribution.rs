@@ -1,0 +1,171 @@
+//! O(1) sampling from arbitrary discrete distributions (Walker/Vose alias
+//! method).
+//!
+//! Used to sample items by popularity: Zipfian ranks for the synthetic
+//! traces and view-count-proportional sampling for the YouTube-like trace
+//! (the paper samples videos i.i.d. according to their view counts).
+
+use rand::Rng;
+
+/// A discrete distribution over `0..n` supporting O(1) sampling after O(n)
+/// preprocessing.
+#[derive(Debug, Clone)]
+pub struct DiscreteDistribution {
+    /// Probability of keeping the column's own index at each column.
+    prob: Vec<f64>,
+    /// Alias index used when the column's own index is rejected.
+    alias: Vec<u32>,
+}
+
+impl DiscreteDistribution {
+    /// Builds the alias tables from (unnormalised, non-negative) weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative/NaN value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        assert!(
+            n <= u32::MAX as usize,
+            "at most 2^32 - 1 outcomes supported"
+        );
+
+        // Scaled weights: average column holds exactly 1.0.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: every remaining column keeps itself.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if the distribution has no outcomes (never: construction
+    /// requires at least one).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome in `0..len()`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let column = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[column] {
+            column
+        } else {
+            self.alias[column] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let dist = DiscreteDistribution::new(&[1.0; 16]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u64; 16];
+        let n = 160_000;
+        for _ in 0..n {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 16.0;
+            assert!((c as f64 - expected).abs() < 0.1 * expected, "count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_frequencies() {
+        let weights = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let dist = DiscreteDistribution::new(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 5];
+        let n = 320_000;
+        for _ in 0..n {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = n as f64 * w / total;
+            assert!(
+                (counts[i] as f64 - expected).abs() < 0.05 * expected + 100.0,
+                "outcome {i}: {} vs {expected}",
+                counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let dist = DiscreteDistribution::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = dist.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let dist = DiscreteDistribution::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        let _ = DiscreteDistribution::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = DiscreteDistribution::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Stream-model helpers: updates, change-detection splits and turnstile
+//! differences.
+
+/// A single stream update `⟨item, value⟩`.
+///
+/// The Cash Register model uses strictly positive values, the Strict
+/// Turnstile model keeps all running frequencies non-negative, and the
+/// general Turnstile model allows arbitrary signs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Update {
+    /// The item identifier.
+    pub item: u64,
+    /// The update weight.
+    pub value: i64,
+}
+
+impl Update {
+    /// A unit-weight (cash register) update.
+    #[inline]
+    pub fn unit(item: u64) -> Self {
+        Self { item, value: 1 }
+    }
+}
+
+/// Splits a stream of items into two equal-length halves `A` and `B`, as the
+/// change-detection task does (Fig. 15c/d): the task is then to estimate, per
+/// item, the difference between its frequency in `B` and in `A`.
+pub fn split_halves(items: &[u64]) -> (&[u64], &[u64]) {
+    let mid = items.len() / 2;
+    (&items[..mid], &items[mid..])
+}
+
+/// Builds the exact per-item frequency-change vector between two streams
+/// (`second − first`), for evaluating change-detection experiments.
+pub fn exact_changes(first: &[u64], second: &[u64]) -> salsa_hash::FxHashMap<u64, i64> {
+    let mut changes: salsa_hash::FxHashMap<u64, i64> = salsa_hash::FxHashMap::default();
+    for &item in first {
+        *changes.entry(item).or_insert(0) -= 1;
+    }
+    for &item in second {
+        *changes.entry(item).or_insert(0) += 1;
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_update() {
+        let u = Update::unit(7);
+        assert_eq!(u.item, 7);
+        assert_eq!(u.value, 1);
+    }
+
+    #[test]
+    fn split_is_balanced() {
+        let items: Vec<u64> = (0..101).collect();
+        let (a, b) = split_halves(&items);
+        assert_eq!(a.len(), 50);
+        assert_eq!(b.len(), 51);
+        assert_eq!(a[0], 0);
+        assert_eq!(b[0], 50);
+    }
+
+    #[test]
+    fn exact_changes_track_differences() {
+        let first = vec![1, 1, 2, 3];
+        let second = vec![1, 2, 2, 2, 4];
+        let changes = exact_changes(&first, &second);
+        assert_eq!(changes[&1], -1);
+        assert_eq!(changes[&2], 2);
+        assert_eq!(changes[&3], -1);
+        assert_eq!(changes[&4], 1);
+    }
+
+    #[test]
+    fn empty_streams() {
+        let changes = exact_changes(&[], &[]);
+        assert!(changes.is_empty());
+        let items: Vec<u64> = vec![];
+        let (a, b) = split_halves(&items);
+        assert!(a.is_empty() && b.is_empty());
+    }
+}

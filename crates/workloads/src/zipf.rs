@@ -1,0 +1,123 @@
+//! Bounded Zipf sampling.
+//!
+//! A Zipf(α) distribution over ranks `1..=n` assigns rank `r` probability
+//! proportional to `r^{-α}`.  The paper's synthetic traces use skews
+//! (α values) from 0.6 to 1.4; its real packet traces are themselves
+//! approximately Zipfian, which is why the synthetic stand-ins in
+//! [`crate::trace`] are parameterised this way.
+
+use rand::Rng;
+
+use crate::distribution::DiscreteDistribution;
+
+/// A bounded Zipf(α) distribution over item ranks `0..n` (rank 0 is the most
+/// popular item).
+#[derive(Debug, Clone)]
+pub struct ZipfDistribution {
+    dist: DiscreteDistribution,
+    skew: f64,
+}
+
+impl ZipfDistribution {
+    /// Creates a Zipf distribution over `universe` items with the given
+    /// `skew` (α ≥ 0; α = 0 is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `skew` is negative / not finite.
+    pub fn new(universe: usize, skew: f64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(skew >= 0.0 && skew.is_finite(), "skew must be non-negative");
+        let weights: Vec<f64> = (1..=universe)
+            .map(|rank| (rank as f64).powf(-skew))
+            .collect();
+        Self {
+            dist: DiscreteDistribution::new(&weights),
+            skew,
+        }
+    }
+
+    /// The skew parameter α.
+    #[inline]
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Samples one item rank in `0..universe` (0 = most popular).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.dist.sample(rng) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_counts(universe: usize, skew: f64, samples: usize, seed: u64) -> Vec<u64> {
+        let zipf = ZipfDistribution::new(universe, skew);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; universe];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn rank_one_dominates_at_high_skew() {
+        let counts = empirical_counts(1_000, 1.4, 100_000, 3);
+        let total: u64 = counts.iter().sum();
+        // At α = 1.4 the top rank holds a large constant fraction of the mass.
+        assert!(counts[0] as f64 > 0.5 * total as f64 * 0.5);
+        assert!(counts[0] > counts[1] && counts[1] > counts[10]);
+    }
+
+    #[test]
+    fn skew_zero_is_uniform() {
+        let counts = empirical_counts(100, 0.0, 200_000, 5);
+        let expected = 2_000.0;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < 0.15 * expected, "count {c}");
+        }
+    }
+
+    #[test]
+    fn frequencies_follow_power_law() {
+        let skew = 1.0;
+        let counts = empirical_counts(10_000, skew, 500_000, 11);
+        // f(1)/f(10) ≈ 10^skew within sampling noise.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!(
+            (ratio.ln() - 10f64.ln() * skew).abs() < 0.35,
+            "rank-1 / rank-10 ratio {ratio} off from {}",
+            10f64.powf(skew)
+        );
+    }
+
+    #[test]
+    fn higher_skew_means_fewer_distinct_items_seen() {
+        let low = empirical_counts(50_000, 0.6, 200_000, 7);
+        let high = empirical_counts(50_000, 1.4, 200_000, 7);
+        let distinct = |c: &[u64]| c.iter().filter(|&&x| x > 0).count();
+        assert!(
+            distinct(&high) < distinct(&low),
+            "high skew should concentrate the stream on fewer items"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = empirical_counts(100, 1.0, 10_000, 42);
+        let b = empirical_counts(100, 1.0, 10_000, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use salsa_workloads::{DiscreteDistribution, TraceSpec, ZipfDistribution};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alias_method_never_samples_out_of_range(
+        weights in prop::collection::vec(0.0f64..100.0, 1..50),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let dist = DiscreteDistribution::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let s = dist.sample(&mut rng);
+            prop_assert!(s < weights.len());
+            prop_assert!(weights[s] > 0.0, "sampled an outcome with zero weight");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_universe(universe in 1usize..5_000, skew in 0.0f64..2.0, seed in 0u64..1000) {
+        let zipf = ZipfDistribution::new(universe, skew);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!((zipf.sample(&mut rng) as usize) < universe);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_in_their_seed(len in 1usize..5_000, seed in 0u64..1000) {
+        let spec = TraceSpec::Zipf { universe: 10_000, skew: 1.0 };
+        let a = spec.generate(len, seed);
+        let b = spec.generate(len, seed);
+        prop_assert_eq!(a.items(), b.items());
+        prop_assert_eq!(a.len(), len);
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass(seed in 0u64..200) {
+        let len = 20_000;
+        let low = TraceSpec::Zipf { universe: 100_000, skew: 0.6 }.generate(len, seed);
+        let high = TraceSpec::Zipf { universe: 100_000, skew: 1.4 }.generate(len, seed);
+        let top_share = |items: &[u64]| {
+            let mut counts = std::collections::HashMap::new();
+            for &i in items {
+                *counts.entry(i).or_insert(0u64) += 1;
+            }
+            *counts.values().max().unwrap() as f64 / items.len() as f64
+        };
+        prop_assert!(top_share(high.items()) > top_share(low.items()));
+    }
+}

@@ -1,0 +1,80 @@
+//! Network monitoring: track per-flow sizes, heavy hitters and the number of
+//! distinct flows on a backbone-router-like packet stream — the motivating
+//! scenario of the paper's introduction (load balancing, accounting, DDoS
+//! detection).
+//!
+//! Run with: `cargo run --release -p salsa-examples --bin network_heavy_hitters`
+
+use salsa_examples::{human_bytes, percent};
+use salsa_metrics::{topk_accuracy, GroundTruth};
+use salsa_sketches::prelude::*;
+use salsa_workloads::TraceSpec;
+
+fn main() {
+    // A synthetic stand-in for the CAIDA NY18 backbone trace (2 M packets).
+    let trace = TraceSpec::CaidaNy18.generate(2_000_000, 1);
+    let items = trace.items();
+    let truth = GroundTruth::from_items(items);
+
+    // A 512 KB SALSA Conservative-Update sketch (the most accurate L1 sketch)
+    // plus an on-arrival top-k heap for the 64 heaviest flows.
+    let budget = 512 * 1024;
+    let width = width_for_budget_bits(budget, 4, 8, 1.0);
+    let mut sketch = ConservativeUpdate::salsa(4, width, 8, 99);
+    let mut topk = TopK::new(64);
+
+    for &packet in items {
+        sketch.update(packet, 1);
+        topk.offer(packet, sketch.estimate(packet));
+    }
+
+    println!("== SALSA network monitoring ==");
+    println!(
+        "trace: {} packets, {} distinct flows (NY18-like)",
+        items.len(),
+        truth.distinct()
+    );
+    println!(
+        "sketch: SALSA CUS, {} ({} counters/row)",
+        human_bytes(sketch.size_bytes()),
+        width
+    );
+    println!();
+
+    // Heavy hitters: flows above 0.1% of the traffic.
+    let phi = 1e-3;
+    let heavy = truth.heavy_hitters(phi);
+    println!(
+        "true heavy hitters above {} of traffic: {}",
+        percent(phi),
+        heavy.len()
+    );
+    let mut worst_rel_err = 0.0f64;
+    for &(flow, count) in &heavy {
+        let est = sketch.estimate(flow);
+        worst_rel_err = worst_rel_err.max((est as f64 - count as f64).abs() / count as f64);
+    }
+    println!(
+        "worst heavy-hitter relative error: {}",
+        percent(worst_rel_err)
+    );
+
+    // Top-k recall against ground truth.
+    let reported: Vec<u64> = topk.items().iter().map(|&(i, _)| i).collect();
+    let true_top: Vec<u64> = truth.top_k(64).iter().map(|&(i, _)| i).collect();
+    println!(
+        "top-64 recall: {}",
+        percent(topk_accuracy(&reported, &true_top))
+    );
+
+    // Distinct-flow estimate via Linear Counting over the sketch's own rows.
+    match sketch.estimate_distinct() {
+        Some(est) => println!(
+            "distinct flows: estimated {:.0} vs true {} (error {})",
+            est,
+            truth.distinct(),
+            percent((est - truth.distinct() as f64).abs() / truth.distinct() as f64)
+        ),
+        None => println!("distinct flows: sketch too small for Linear Counting at this load"),
+    }
+}

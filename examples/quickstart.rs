@@ -1,0 +1,78 @@
+//! Quickstart: build a SALSA Count-Min sketch, feed it a skewed stream, and
+//! compare its accuracy and memory against a conventional 32-bit Count-Min
+//! sketch of the same size.
+//!
+//! Run with: `cargo run --release -p salsa-examples --bin quickstart`
+
+use salsa_examples::human_bytes;
+use salsa_metrics::{GroundTruth, OnArrivalError};
+use salsa_sketches::prelude::*;
+use salsa_workloads::TraceSpec;
+
+fn main() {
+    // 1. A skewed stream: one million packets over ~100k flows (Zipf 1.0).
+    let trace = TraceSpec::Zipf {
+        universe: 100_000,
+        skew: 1.0,
+    }
+    .generate(1_000_000, 7);
+    let items = trace.items();
+
+    // 2. Two sketches with the same 256 KB budget and d = 4 rows:
+    //    the baseline uses 32-bit counters, SALSA starts from 8-bit counters
+    //    (so it fits roughly 3.5× as many) and merges them on demand.
+    let budget = 256 * 1024;
+    let baseline_width = width_for_budget(budget, 4, 32);
+    let salsa_width = width_for_budget_bits(budget, 4, 8, 1.0);
+    let mut baseline = CountMin::baseline(4, baseline_width, 32, 42);
+    let mut salsa = CountMin::salsa(4, salsa_width, 8, MergeOp::Max, 42);
+
+    // 3. Feed both sketches and record the on-arrival estimation error.
+    let mut truth = GroundTruth::new();
+    let mut baseline_err = OnArrivalError::new();
+    let mut salsa_err = OnArrivalError::new();
+    for &item in items {
+        baseline.update(item, 1);
+        salsa.update(item, 1);
+        let exact = truth.record(item) as i64;
+        baseline_err.record(baseline.estimate(item) as i64, exact);
+        salsa_err.record(salsa.estimate(item) as i64, exact);
+    }
+
+    // 4. Query a few of the heaviest flows.
+    println!("== SALSA quickstart ==");
+    println!(
+        "stream: {} updates, {} distinct flows",
+        items.len(),
+        truth.distinct()
+    );
+    println!(
+        "baseline CMS: {} counters/row x 32 bits = {}",
+        baseline_width,
+        human_bytes(baseline.size_bytes())
+    );
+    println!(
+        "SALSA CMS:    {} counters/row x 8 bits (+1 merge bit) = {}",
+        salsa_width,
+        human_bytes(salsa.size_bytes())
+    );
+    println!();
+    println!("top flows (true vs estimates):");
+    for (item, count) in truth.top_k(5) {
+        println!(
+            "  flow {item:>20}  true {count:>7}  baseline {:>7}  SALSA {:>7}",
+            baseline.estimate(item),
+            salsa.estimate(item)
+        );
+    }
+    println!();
+    println!(
+        "on-arrival NRMSE: baseline {:.3e}   SALSA {:.3e}",
+        baseline_err.nrmse(),
+        salsa_err.nrmse()
+    );
+    println!(
+        "SALSA error is {:.1}x lower at the same memory budget",
+        baseline_err.nrmse() / salsa_err.nrmse().max(f64::MIN_POSITIVE)
+    );
+}

@@ -1,0 +1,43 @@
+//! Shared helpers for the runnable SALSA examples.
+//!
+//! The example binaries in this package (`quickstart`,
+//! `network_heavy_hitters`, `change_detection`, `univmon_entropy`) exercise
+//! the public API of the workspace crates on realistic scenarios.  Run them
+//! with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p salsa-examples --bin quickstart
+//! ```
+
+/// Formats a byte count as a human-readable string (e.g. `512 KiB`).
+pub fn human_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2} MiB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KiB", bytes as f64 / (1 << 10) as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(100), "100 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(2 << 20), "2.00 MiB");
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.5), "50.0%");
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests of the paper's accuracy-dominance claims (Theorems
+//! V.1–V.3 and the headline evaluation results): SALSA variants never
+//! under-estimate, never do worse than the equal-memory baselines on skewed
+//! streams, and the orderings between CMS / CUS / Tango hold end-to-end.
+
+use salsa_integration_tests::{on_arrival_nrmse, test_stream};
+use salsa_sketches::prelude::*;
+
+const UPDATES: usize = 300_000;
+const UNIVERSE: usize = 100_000;
+
+#[test]
+fn salsa_cms_beats_equal_memory_baseline_on_skewed_streams() {
+    // 64 KB budget, d = 4: baseline gets 2^12 32-bit counters per row, SALSA
+    // gets 2^14 8-bit counters per row (within the same budget incl. merge
+    // bits).
+    for skew in [0.8, 1.0, 1.2] {
+        let items = test_stream(UPDATES, UNIVERSE, skew, 11);
+        let mut baseline = CountMin::baseline(4, 1 << 12, 32, 5);
+        let mut salsa = CountMin::salsa(4, (1 << 14) / 2, 8, MergeOp::Max, 5);
+        assert!(salsa.size_bytes() <= baseline.size_bytes());
+        let (base_err, _) = on_arrival_nrmse(&mut baseline, &items);
+        let (salsa_err, _) = on_arrival_nrmse(&mut salsa, &items);
+        assert!(
+            salsa_err <= base_err,
+            "skew {skew}: SALSA NRMSE {salsa_err} should not exceed baseline {base_err}"
+        );
+    }
+}
+
+#[test]
+fn salsa_cus_beats_salsa_cms_which_both_overestimate() {
+    let items = test_stream(UPDATES, UNIVERSE, 1.0, 13);
+    let mut cms = CountMin::salsa(4, 1 << 13, 8, MergeOp::Max, 9);
+    let mut cus = ConservativeUpdate::salsa(4, 1 << 13, 8, 9);
+    let (cms_err, truth) = on_arrival_nrmse(&mut cms, &items);
+    let mut cus_truth = salsa_metrics::GroundTruth::new();
+    let mut cus_err_acc = salsa_metrics::OnArrivalError::new();
+    for &item in &items {
+        cus.update(item, 1);
+        let exact = cus_truth.record(item);
+        cus_err_acc.record(cus.estimate(item) as i64, exact as i64);
+    }
+    let cus_err = cus_err_acc.nrmse();
+    // Conservative update is at least as accurate as CMS (usually strictly).
+    assert!(cus_err <= cms_err, "CUS {cus_err} vs CMS {cms_err}");
+    // Both never under-estimate final frequencies.
+    for (item, count) in truth.iter() {
+        assert!(cms.estimate(item) >= count);
+        assert!(cus.estimate(item) >= count);
+    }
+}
+
+#[test]
+fn tango_is_at_least_as_accurate_as_salsa_which_beats_wide_baseline() {
+    let items = test_stream(UPDATES, UNIVERSE, 1.0, 17);
+    let truth = salsa_metrics::GroundTruth::from_items(&items);
+    let mut tango = CountMin::tango(4, 1 << 13, 8, MergeOp::Max, 21);
+    let mut salsa = CountMin::salsa(4, 1 << 13, 8, MergeOp::Max, 21);
+    let mut wide = CountMin::baseline(4, 1 << 11, 32, 21);
+    for &item in &items {
+        tango.update(item, 1);
+        salsa.update(item, 1);
+        wide.update(item, 1);
+    }
+    let sum_err = |est: &dyn Fn(u64) -> u64| -> u64 {
+        truth.iter().map(|(i, c)| est(i).saturating_sub(c)).sum()
+    };
+    let tango_err = sum_err(&|i| tango.estimate(i));
+    let salsa_err = sum_err(&|i| salsa.estimate(i));
+    let wide_err = sum_err(&|i| wide.estimate(i));
+    assert!(
+        tango_err <= salsa_err,
+        "Tango {tango_err} vs SALSA {salsa_err}"
+    );
+    assert!(
+        salsa_err <= wide_err,
+        "SALSA {salsa_err} vs 32-bit baseline {wide_err}"
+    );
+    // Per-item over-estimation property (Theorems V.1/V.2).
+    for (item, count) in truth.iter() {
+        assert!(tango.estimate(item) >= count);
+        assert!(salsa.estimate(item) >= count);
+    }
+}
+
+#[test]
+fn compact_encoding_matches_simple_encoding_accuracy() {
+    let items = test_stream(100_000, 50_000, 1.0, 23);
+    let mut simple = CountMin::salsa(4, 1 << 12, 8, MergeOp::Max, 31);
+    let mut compact = CountMin::salsa_compact(4, 1 << 12, 8, MergeOp::Max, 31);
+    for &item in &items {
+        simple.update(item, 1);
+        compact.update(item, 1);
+    }
+    for item in items.iter().step_by(37) {
+        assert_eq!(simple.estimate(*item), compact.estimate(*item));
+    }
+    assert!(compact.size_bytes() < simple.size_bytes());
+}
+
+#[test]
+fn salsa_count_sketch_beats_baseline_count_sketch() {
+    let items = test_stream(UPDATES, UNIVERSE, 0.8, 29);
+    let mut baseline = CountSketch::baseline(5, 1 << 10, 32, 3);
+    let mut salsa = CountSketch::salsa(5, 1 << 12, 8, 3);
+    assert!(salsa.size_bytes() <= baseline.size_bytes() * 9 / 8);
+    let (base_err, _) = on_arrival_nrmse(&mut baseline, &items);
+    let (salsa_err, _) = on_arrival_nrmse(&mut salsa, &items);
+    assert!(
+        salsa_err <= base_err,
+        "SALSA CS {salsa_err} should not exceed baseline CS {base_err}"
+    );
+}
+
+#[test]
+fn small_fixed_counters_fail_on_heavy_hitters_but_salsa_does_not() {
+    // Fig. 6: 8-bit saturating counters cannot represent heavy hitters.
+    let items = test_stream(UPDATES, 10_000, 1.2, 37);
+    let truth = salsa_metrics::GroundTruth::from_items(&items);
+    let mut tiny = CountMin::baseline(4, 1 << 14, 8, 41);
+    let mut salsa = CountMin::salsa(4, 1 << 14, 8, MergeOp::Max, 41);
+    for &item in &items {
+        tiny.update(item, 1);
+        salsa.update(item, 1);
+    }
+    let (heavy_item, heavy_count) = truth.top_k(1)[0];
+    assert!(heavy_count > 255);
+    assert_eq!(tiny.estimate(heavy_item), 255, "8-bit counters saturate");
+    assert!(
+        salsa.estimate(heavy_item) >= heavy_count,
+        "SALSA keeps counting"
+    );
+}

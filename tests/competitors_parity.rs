@@ -1,0 +1,124 @@
+//! Integration tests comparing SALSA against the Pyramid and ABC baselines
+//! (the Fig. 8 / Fig. 9 comparison): at equal memory on skewed streams,
+//! SALSA's squared error is the smallest, ABC suffers on heavy hitters
+//! because of its bounded counting range, and Pyramid's shared upper layers
+//! inflate its error variance.
+
+use salsa_competitors::{AbcSketch, PyramidSketch};
+use salsa_integration_tests::test_stream;
+use salsa_metrics::GroundTruth;
+use salsa_sketches::prelude::*;
+
+const UPDATES: usize = 400_000;
+const UNIVERSE: usize = 100_000;
+
+/// Builds the four algorithms at a (roughly) equal memory budget and returns
+/// their final per-item squared errors summed over all items.
+fn sum_squared_errors(items: &[u64]) -> (f64, f64, f64, f64) {
+    let truth = GroundTruth::from_items(items);
+    // ~64 KB each: baseline 4×2^12×32-bit; SALSA 4×2^14×(8+1)-bit;
+    // Pyramid base layer 2^15×8-bit (plus upper layers); ABC 2^16×8-bit.
+    let mut baseline = CountMin::baseline(4, 1 << 12, 32, 5);
+    let mut salsa = CountMin::salsa(4, 1 << 14, 8, MergeOp::Max, 5);
+    let mut pyramid = PyramidSketch::new(4, 1 << 15, 8, 5);
+    let mut abc = AbcSketch::new(4, 1 << 16, 8, 5);
+    for &i in items {
+        baseline.update(i, 1);
+        salsa.update(i, 1);
+        pyramid.update(i, 1);
+        abc.update(i, 1);
+    }
+    let mut sq = [0.0f64; 4];
+    for (item, count) in truth.iter() {
+        let t = count as f64;
+        sq[0] += (baseline.estimate(item) as f64 - t).powi(2);
+        sq[1] += (salsa.estimate(item) as f64 - t).powi(2);
+        sq[2] += (pyramid.estimate(item) as f64 - t).powi(2);
+        sq[3] += (abc.estimate(item) as f64 - t).powi(2);
+    }
+    (sq[0], sq[1], sq[2], sq[3])
+}
+
+#[test]
+fn salsa_has_the_lowest_squared_error_at_equal_memory() {
+    let items = test_stream(UPDATES, UNIVERSE, 1.0, 31);
+    let (baseline, salsa, pyramid, abc) = sum_squared_errors(&items);
+    assert!(
+        salsa <= baseline && salsa <= pyramid && salsa <= abc,
+        "SALSA {salsa} vs baseline {baseline}, Pyramid {pyramid}, ABC {abc}"
+    );
+}
+
+#[test]
+fn abc_error_explodes_on_heavy_hitters() {
+    // ABC cannot represent values above 2^13 − 1, so the heaviest item's
+    // error is at least (true − 8191) while SALSA's stays tiny.
+    let items = test_stream(UPDATES, 5_000, 1.2, 33);
+    let truth = GroundTruth::from_items(&items);
+    let (heavy, heavy_count) = truth.top_k(1)[0];
+    assert!(heavy_count > 20_000);
+
+    let mut salsa = CountMin::salsa(4, 1 << 14, 8, MergeOp::Max, 3);
+    let mut abc = AbcSketch::new(4, 1 << 16, 8, 3);
+    for &i in &items {
+        salsa.update(i, 1);
+        abc.update(i, 1);
+    }
+    let abc_err = (abc.estimate(heavy) as i64 - heavy_count as i64).unsigned_abs();
+    let salsa_err = (salsa.estimate(heavy) as i64 - heavy_count as i64).unsigned_abs();
+    assert!(abc_err >= heavy_count - 8_191, "ABC error {abc_err}");
+    assert!(
+        salsa_err * 10 < abc_err,
+        "SALSA error {salsa_err} vs ABC {abc_err}"
+    );
+}
+
+#[test]
+fn pyramid_never_underestimates_but_salsa_is_tighter_in_aggregate() {
+    let items = test_stream(UPDATES, UNIVERSE, 1.0, 35);
+    let truth = GroundTruth::from_items(&items);
+    let mut salsa = CountMin::salsa(4, 1 << 14, 8, MergeOp::Max, 9);
+    let mut pyramid = PyramidSketch::new(4, 1 << 15, 8, 9);
+    for &i in &items {
+        salsa.update(i, 1);
+        pyramid.update(i, 1);
+    }
+    let mut pyramid_total = 0u64;
+    let mut salsa_total = 0u64;
+    for (item, count) in truth.iter() {
+        assert!(
+            pyramid.estimate(item) >= count,
+            "Pyramid under-estimated {item}"
+        );
+        pyramid_total += pyramid.estimate(item) - count;
+        salsa_total += salsa.estimate(item) - count;
+    }
+    assert!(
+        salsa_total <= pyramid_total,
+        "SALSA total over-estimation {salsa_total} vs Pyramid {pyramid_total}"
+    );
+}
+
+#[test]
+fn all_competitors_agree_on_light_streams() {
+    // With almost no load every scheme is exact — a sanity check that the
+    // re-implementations are not structurally biased.
+    let items = test_stream(2_000, 1_000, 0.6, 37);
+    let truth = GroundTruth::from_items(&items);
+    let mut baseline = CountMin::baseline(4, 1 << 14, 32, 11);
+    let mut salsa = CountMin::salsa(4, 1 << 16, 8, MergeOp::Max, 11);
+    let mut pyramid = PyramidSketch::new(4, 1 << 16, 8, 11);
+    let mut abc = AbcSketch::new(4, 1 << 17, 8, 11);
+    for &i in &items {
+        baseline.update(i, 1);
+        salsa.update(i, 1);
+        pyramid.update(i, 1);
+        abc.update(i, 1);
+    }
+    for (item, count) in truth.iter() {
+        assert_eq!(baseline.estimate(item), count);
+        assert_eq!(salsa.estimate(item), count);
+        assert_eq!(pyramid.estimate(item), count);
+        assert_eq!(abc.estimate(item), count);
+    }
+}
