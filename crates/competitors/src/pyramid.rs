@@ -112,7 +112,7 @@ impl PyramidSketch {
         let parent_layer = layer + 1;
         let parent_idx = (idx / 2).min(self.upper_len(parent_layer) - 1);
         let (mut left, mut right, count) = self.upper_read(parent_layer, parent_idx);
-        if idx % 2 == 0 {
+        if idx.is_multiple_of(2) {
             left = true;
         } else {
             right = true;
@@ -153,7 +153,7 @@ impl PyramidSketch {
         for layer in 1..self.layers {
             let parent_idx = (child / 2).min(self.upper_len(layer) - 1);
             let (left, right, count) = self.upper_read(layer, parent_idx);
-            let flagged = if child % 2 == 0 { left } else { right };
+            let flagged = if child.is_multiple_of(2) { left } else { right };
             if !flagged {
                 break;
             }

@@ -87,7 +87,7 @@ impl LayoutCodes {
 impl MergeEncoding for LayoutCodes {
     fn for_width(width: usize) -> Self {
         assert!(
-            width % BLOCK == 0,
+            width.is_multiple_of(BLOCK),
             "compact encoding requires the row width to be a multiple of {BLOCK}, got {width}"
         );
         Self {

@@ -6,7 +6,7 @@
 //! with, e.g.:
 //!
 //! ```text
-//! cargo run --release -p salsa-examples --bin quickstart
+//! cargo run --release -p salsa-examples --example quickstart
 //! ```
 
 /// Formats a byte count as a human-readable string (e.g. `512 KiB`).

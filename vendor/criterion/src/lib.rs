@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's benches
+//! use.  Instead of criterion's statistical machinery it runs a short
+//! warm-up, then measures a fixed number of samples and reports the mean
+//! and min ns/iter (plus derived throughput) on stdout — enough to compare
+//! the relative update/query costs the SALSA paper discusses, with no
+//! dependencies.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by a group's benches.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            settings: Settings::default(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, Settings::default(), &mut f);
+        self
+    }
+}
+
+/// Units for reporting derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost; only a naming shim here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// A small per-iteration input.
+    SmallInput,
+    /// A large per-iteration input.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier (`BenchmarkId::from_parameter(...)` etc.).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work, for derived throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many samples to take per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, self.settings, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        run_one(&id.into().id, self.settings, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing nothing extra; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; records the measured routine.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample (f64 so that
+    /// amortising over many iterations keeps sub-nanosecond resolution).
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly, running enough iterations per sample
+    /// that the `Instant` overhead does not dominate sub-microsecond
+    /// routines (real criterion amortizes the same way).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut iters: u32 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, excluding the setup
+    /// time from the measurement.  Each sample times a single invocation, so
+    /// keep batched routines coarse enough (≥ microseconds) to swamp timer
+    /// overhead.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn run_one(id: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up sample, discarded.
+    let mut warmup = Bencher {
+        samples: Vec::new(),
+        sample_size: 1,
+    };
+    f(&mut warmup);
+
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: settings.sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {id}: no samples recorded");
+        return;
+    }
+    let total: f64 = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as f64;
+    let min = bencher
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let rate = match settings.throughput {
+        Some(Throughput::Elements(n)) => format!(" ({:.2} Melem/s)", n as f64 / mean * 1e3),
+        Some(Throughput::Bytes(n)) => format!(" ({:.2} MB/s)", n as f64 / mean * 1e3),
+        None => String::new(),
+    };
+    println!(
+        "  {id}: mean {:.0} ns/iter, min {:.0} ns/iter over {} samples{rate}",
+        mean,
+        min,
+        bencher.samples.len()
+    );
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,334 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`), the
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros, and
+//! [`Strategy`] implementations for integer/float ranges, tuples of
+//! strategies and [`collection::vec`].
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! per-test seed (no `PROPTEST_*` environment handling), and there is **no
+//! shrinking** — a failing case panics with the generated inputs so it can
+//! be reproduced by hand.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SampleUniform, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// The random source handed to strategies — the workspace's offline `rand`
+/// generator (real proptest likewise builds on `rand`).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(state: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(state),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+}
+
+/// FNV-1a over a string — used to derive a stable per-test seed from the
+/// test's name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Extracts a printable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("test body panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("test body panicked: {s}")
+    } else {
+        "test body panicked".to_string()
+    }
+}
+
+/// How a generated case failed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Test-runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of arbitrary values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + fmt::Debug> Strategy for Range<T> {
+    type Value = T;
+
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(&mut rng.inner, self.start, self.end)
+    }
+}
+
+/// A strategy that always yields a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{SampleUniform, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of values from `element`, with a length
+    /// drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy with element strategy `element` and length range
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = usize::sample_range(&mut rng.inner, self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` paths the prelude exposes (`prop::collection::vec` etc.).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with the generated inputs in the message) instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a value-revealing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!(a != b)` with a value-revealing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Rejects the current case (it does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item expands to a
+/// plain `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    { ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* } => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::seed_from_u64(
+                    $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+                );
+                let mut passed: u32 = 0;
+                let mut rejected: u64 = 0;
+                let max_rejects = (config.cases as u64) * 20 + 100;
+                while passed < config.cases {
+                    // Snapshot so the failing case's inputs can be
+                    // regenerated for the panic message — formatting them up
+                    // front would cost an allocation per passing case.
+                    let case_rng = rng.clone();
+                    // Inner scope: the generated bindings shadow the strategy
+                    // expressions' names (`updates in updates()` is idiomatic
+                    // proptest), so they must not leak into the match arms.
+                    let case = {
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                        // catch_unwind so a panic inside the body (not just a
+                        // prop_assert* failure) still reports the generated
+                        // inputs below.
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                            move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                #[allow(unreachable_code)]
+                                ::core::result::Result::Ok(())
+                            },
+                        ))
+                        .unwrap_or_else(|payload| {
+                            ::core::result::Result::Err($crate::TestCaseError::Fail(
+                                $crate::panic_message(&payload),
+                            ))
+                        })
+                    };
+                    match case {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(cond)) => {
+                            rejected += 1;
+                            if rejected > max_rejects {
+                                panic!(
+                                    "{}: too many prop_assume! rejections ({cond})",
+                                    stringify!($name)
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            let mut replay_rng = case_rng;
+                            $(let $arg =
+                                $crate::Strategy::generate(&($strat), &mut replay_rng);)+
+                            let inputs = format!(
+                                concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                                $(&$arg),+
+                            );
+                            panic!(
+                                "proptest case {} of {} failed: {}\ninputs:{}",
+                                passed + 1,
+                                stringify!($name),
+                                msg,
+                                inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

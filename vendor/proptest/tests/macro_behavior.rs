@@ -1,0 +1,57 @@
+//! Behavioral tests of the proptest stand-in itself: the macro must run
+//! cases, honor `prop_assume!`, and panic with the generated inputs on
+//! failure.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ranges_respect_bounds(x in 3u64..17, f in -2.0f64..2.0, i in -50i64..-10) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!((-2.0..2.0).contains(&f));
+        prop_assert!((-50..-10).contains(&i));
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_and_element_ranges(
+        v in prop::collection::vec((0usize..8, 1u64..100), 2..20)
+    ) {
+        prop_assert!((2..20).contains(&v.len()));
+        for &(idx, w) in &v {
+            prop_assert!(idx < 8);
+            prop_assert!((1..100).contains(&w));
+        }
+    }
+
+    #[test]
+    fn assume_skips_cases_without_failing(x in 0u64..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_case_reports_generated_inputs(x in 0u64..10) {
+        prop_assert!(x > 100, "x was only {x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "test body panicked")]
+    fn body_panics_are_reported_with_inputs(x in 0u64..10) {
+        let v = [0u8; 1];
+        // An out-of-bounds index — the failure mode property tests exist to
+        // catch — must still be routed through the input-reporting path.
+        let _ = v[x as usize + 1];
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let mut a = proptest::TestRng::seed_from_u64(9);
+    let mut b = proptest::TestRng::seed_from_u64(9);
+    for _ in 0..64 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the rand 0.8 API this workspace uses:
+//! [`Rng::gen`], [`Rng::gen_range`] over half-open ranges,
+//! [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`].  The generator is
+//! SplitMix64 — statistically fine for workload synthesis, deterministic in
+//! its seed, and dependency-free.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The low-level generator interface: a source of random `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator seeded from `state` (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open `lo..hi` range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[lo, hi)` from `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is < span/2^64 — irrelevant for workload
+                // synthesis; keeps the sampler branch-free.
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let v = lo + <f64 as StandardSample>::sample(rng) * (hi - lo);
+        // `lo + f * (hi - lo)` can round up to exactly `hi`; keep the
+        // documented half-open contract.
+        if v < hi {
+            v
+        } else {
+            hi.next_down().max(lo)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let v = lo + (<f64 as StandardSample>::sample(rng) as f32) * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            hi.next_down().max(lo)
+        }
+    }
+}
+
+/// Types that can be drawn from the "standard" distribution (`Rng::gen`).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T`.
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from the half-open range `lo..hi`.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Unlike rand's `StdRng` (ChaCha12) this is not cryptographic, and the
+    /// same seed produces a different stream than the real crate would; the
+    /// workspace only relies on determinism.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(-50i64..-10);
+            assert!((-50..-10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        // Mean of 10k uniform draws is close to 0.5.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+}
