@@ -39,6 +39,10 @@ const BINARIES: &[(&str, &str)] = &[
         "fig19_20_small_counters_appendix",
         env!("CARGO_BIN_EXE_fig19_20_small_counters_appendix"),
     ),
+    (
+        "fig_pipeline_scaling",
+        env!("CARGO_BIN_EXE_fig_pipeline_scaling"),
+    ),
 ];
 
 #[test]

@@ -92,6 +92,21 @@ impl Row for FixedRow {
         }
     }
 
+    #[inline]
+    fn add_unit_batch(&mut self, buckets: &[usize]) {
+        // Unit increments never need the general saturating-add path: a
+        // counter below capacity is bumped by exactly one, a saturated one is
+        // left untouched (no write, no branch on the clamped value).
+        let cap = self.capacity();
+        for &bucket in buckets {
+            let offset = bucket * self.bits as usize;
+            let cur = self.storage.read_aligned(offset, self.bits);
+            if cur < cap {
+                self.storage.write_aligned(offset, self.bits, cur + 1);
+            }
+        }
+    }
+
     fn size_bytes(&self) -> usize {
         (self.width * self.bits as usize).div_ceil(8)
     }
@@ -207,6 +222,25 @@ mod tests {
         let mut row16 = FixedRow::new(16, 16);
         row16.add(0, 100_000);
         assert_eq!(row16.read(0), 65_535);
+    }
+
+    #[test]
+    fn add_unit_batch_matches_unit_adds_and_saturates() {
+        let mut batched = FixedRow::new(16, 8);
+        let mut looped = FixedRow::new(16, 8);
+        let buckets: Vec<usize> = (0..600).map(|i| (i * 5) % 16).collect();
+        batched.add_unit_batch(&buckets);
+        for &bucket in &buckets {
+            looped.add(bucket, 1);
+        }
+        for i in 0..16 {
+            assert_eq!(batched.read(i), looped.read(i), "slot {i}");
+        }
+        // A saturated counter stays at capacity.
+        let mut row = FixedRow::new(16, 8);
+        row.add(3, 255);
+        row.add_unit_batch(&[3, 3, 3]);
+        assert_eq!(row.read(3), 255);
     }
 
     #[test]

@@ -27,6 +27,21 @@ pub trait Row {
     /// overhead (the paper's memory axes include this overhead).
     fn size_bytes(&self) -> usize;
 
+    /// Adds 1 to the counter containing each base slot in `buckets` — the
+    /// unit-weight batched hot path used by the sharded pipeline.
+    ///
+    /// The provided implementation simply loops over [`Row::add`]; row types
+    /// with cheaper unit-increment paths (e.g. [`crate::fixed::FixedRow`])
+    /// override it.  Processing a whole batch against one row at a time keeps
+    /// that row's storage hot in cache, which is where the batched update
+    /// loop gets its speed.
+    #[inline]
+    fn add_unit_batch(&mut self, buckets: &[usize]) {
+        for &bucket in buckets {
+            self.add(bucket, 1);
+        }
+    }
+
     /// Estimated number of base counter slots that are still zero, used by
     /// the Linear Counting distinct-count estimator.
     ///
@@ -87,6 +102,35 @@ impl MergeOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rows_are_send() {
+        // The sharded pipeline moves rows (inside sketches) onto worker
+        // threads; this pins down that every row type stays `Send`.
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<crate::fixed::FixedRow>();
+        assert_send::<crate::fixed::FixedSignedRow>();
+        assert_send::<crate::row::SimpleSalsaRow>();
+        assert_send::<crate::row::CompactSalsaRow>();
+        assert_send::<crate::row::SimpleSalsaSignedRow>();
+        assert_send::<crate::row::CompactSalsaSignedRow>();
+        assert_send::<crate::tango::TangoRow>();
+    }
+
+    #[test]
+    fn add_unit_batch_default_matches_adds() {
+        let mut a = crate::row::SimpleSalsaRow::new(16, 8, MergeOp::Sum);
+        let mut b = a.clone();
+        let buckets: Vec<usize> = (0..400).map(|i| (i * 7) % 16).collect();
+        a.add_unit_batch(&buckets);
+        for &bucket in &buckets {
+            b.add(bucket, 1);
+        }
+        for i in 0..16 {
+            assert_eq!(a.read(i), b.read(i), "slot {i}");
+            assert_eq!(a.level_of(i), b.level_of(i), "slot {i}");
+        }
+    }
 
     #[test]
     fn merge_op_combines() {

@@ -27,7 +27,7 @@ pub mod throughput;
 pub use error::{average_errors, relative_error, AverageErrors, OnArrivalError};
 pub use ground_truth::GroundTruth;
 pub use stats::Summary;
-pub use throughput::Throughput;
+pub use throughput::{mops_for, Throughput};
 
 /// Fraction of the true top-`k` items that appear in the reported top-`k`
 /// (the "Accuracy" metric of Fig. 15a/b).

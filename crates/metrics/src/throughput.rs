@@ -45,14 +45,38 @@ impl Throughput {
         self.elapsed.expect("stopped above")
     }
 
-    /// Throughput in million operations per second.
-    pub fn mops(&mut self) -> f64 {
-        let secs = self.elapsed().as_secs_f64();
-        if secs == 0.0 {
-            return f64::INFINITY;
-        }
-        self.operations as f64 / secs / 1e6
+    /// Elapsed wall-clock time in seconds (stops the measurement if still
+    /// running).  The pipeline bench uses this to combine per-shard busy
+    /// times into a critical-path throughput.
+    pub fn elapsed_secs(&mut self) -> f64 {
+        self.elapsed().as_secs_f64()
     }
+
+    /// Throughput in million operations per second.
+    ///
+    /// A timer that recorded no operations reports `0.0` regardless of the
+    /// elapsed time, and a coarse clock that observed zero elapsed time
+    /// never causes a `0/0` or `x/0` division: the rate is computed per
+    /// [`mops_for`].
+    pub fn mops(&mut self) -> f64 {
+        let secs = self.elapsed_secs();
+        mops_for(self.operations, secs)
+    }
+}
+
+/// Million operations per second for `operations` performed over `secs`
+/// seconds, guarding the zero-elapsed (coarse timer) and zero-operation
+/// corners: no operations is `0.0`, and a positive operation count over a
+/// non-positive elapsed time saturates to `f64::INFINITY` instead of
+/// dividing by zero.
+pub fn mops_for(operations: u64, secs: f64) -> f64 {
+    if operations == 0 {
+        return 0.0;
+    }
+    if secs <= 0.0 {
+        return f64::INFINITY;
+    }
+    operations as f64 / secs / 1e6
 }
 
 /// Convenience: times `f` over `operations` operations and returns
@@ -96,5 +120,27 @@ mod tests {
         let (value, mops) = measure(1000, || (0..1000u64).sum::<u64>());
         assert_eq!(value, 499_500);
         assert!(mops > 0.0);
+    }
+
+    #[test]
+    fn zero_elapsed_and_zero_ops_are_guarded() {
+        assert_eq!(mops_for(0, 0.0), 0.0);
+        assert_eq!(mops_for(0, 1.0), 0.0);
+        assert_eq!(mops_for(1000, 0.0), f64::INFINITY);
+        assert_eq!(mops_for(1000, -1.0), f64::INFINITY);
+        assert_eq!(mops_for(2_000_000, 1.0), 2.0);
+        // A timer with no recorded operations reports zero throughput even
+        // if stopped immediately (previously this could report infinity).
+        let mut t = Throughput::start();
+        assert_eq!(t.mops(), 0.0);
+    }
+
+    #[test]
+    fn elapsed_secs_matches_elapsed() {
+        let mut t = Throughput::start();
+        t.add_ops(1);
+        let secs = t.elapsed_secs();
+        assert!(secs >= 0.0);
+        assert_eq!(secs, t.elapsed().as_secs_f64());
     }
 }

@@ -1,0 +1,174 @@
+//! # salsa-pipeline — sharded, batched, mergeable SALSA ingestion
+//!
+//! Section V of the paper shows that SALSA sketches built with the *same*
+//! hash functions can be combined counter-wise, which is exactly what makes
+//! the design distributable: a stream can be split across worker shards,
+//! each shard sketches its slice independently, and the per-shard sketches
+//! fold into a single queryable global view.  This crate turns that
+//! observation into an ingestion layer:
+//!
+//! * [`ShardedPipeline`] partitions an item stream across `N` worker shards
+//!   (each a `std::thread` owning its own sketch), feeds each shard in
+//!   configurable batches through the sketches' batched-update hot path
+//!   ([`FrequencyEstimator::batch_update`]), and on
+//!   [`ShardedPipeline::finish`] merges the shard sketches into one
+//!   [`PipelineOutput`] whose `merged` sketch answers frequency queries for
+//!   the whole stream.
+//! * [`Partition::ByKey`] routes every key to one shard via an independent
+//!   router hash, so each shard holds its keys' *entire* sub-stream.  With
+//!   sum-merge rows the merged view is then **identical** to the sketch a
+//!   single thread would have built — sharding is exact, not approximate.
+//! * [`Partition::RoundRobin`] (the "replicated" mode) deals items to
+//!   shards in turn, so every shard sees an arbitrary slice of the stream
+//!   and correctness comes entirely from the counter-wise union via
+//!   [`salsa_core::merge::RowMerge`].  Sum-merge rows again reproduce the
+//!   unsharded sketch exactly; max-merge rows give a never-underestimating
+//!   over-approximation (Theorem V.2).
+//!
+//! ```
+//! use salsa_pipeline::{run_sharded, PipelineConfig};
+//! use salsa_sketches::prelude::*;
+//!
+//! let items: Vec<u64> = (0..10_000u64).map(|i| i % 100).collect();
+//! let config = PipelineConfig::new(4);
+//! let out = run_sharded(&config, |_| CountMin::salsa(4, 1024, 8, MergeOp::Sum, 7), &items);
+//!
+//! // The merged view agrees with an unsharded sketch of the same stream.
+//! let mut single = CountMin::salsa(4, 1024, 8, MergeOp::Sum, 7);
+//! for &item in &items {
+//!     single.update(item, 1);
+//! }
+//! assert_eq!(out.merged.estimate(42), single.estimate(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sharded;
+
+use salsa_core::merge::RowMerge;
+use salsa_core::traits::{Row, SignedRow};
+use salsa_sketches::cms::CountMin;
+use salsa_sketches::cs::CountSketch;
+use salsa_sketches::cus::ConservativeUpdate;
+use salsa_sketches::estimator::FrequencyEstimator;
+
+pub use sharded::{run_sharded, PipelineOutput, ShardStats, ShardedPipeline};
+
+/// Default seed of the router hash.  It is fixed (and distinct from typical
+/// sketch seeds) so that routing is independent of the row hash functions:
+/// correlating the two would funnel each shard's keys into a biased subset
+/// of each row's buckets.
+pub const DEFAULT_ROUTER_SEED: u64 = 0x5A15_A0DE_57A6_ED01;
+
+/// A frequency estimator whose same-seed, same-shape instances can be
+/// combined counter-wise into a sketch of the union stream.
+///
+/// This is the contract a sketch must satisfy to run sharded: it must be
+/// movable onto a worker thread (`Send + 'static`) and mergeable at the
+/// sketch level.  Implementations enforce the "same hash functions, same
+/// shape" precondition themselves and panic on mismatch.
+pub trait MergeableSketch: FrequencyEstimator + Send + 'static {
+    /// Counter-wise merges `other` into `self`, so that `self` afterwards
+    /// summarizes the union of the two input streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands were built with different seeds or shapes.
+    fn merge_from(&mut self, other: &Self);
+}
+
+impl<R> MergeableSketch for CountMin<R>
+where
+    R: Row + RowMerge + Send + 'static,
+{
+    fn merge_from(&mut self, other: &Self) {
+        CountMin::merge_from(self, other);
+    }
+}
+
+impl<R> MergeableSketch for ConservativeUpdate<R>
+where
+    R: Row + RowMerge + Send + 'static,
+{
+    fn merge_from(&mut self, other: &Self) {
+        ConservativeUpdate::merge_from(self, other);
+    }
+}
+
+impl<S> MergeableSketch for CountSketch<S>
+where
+    S: SignedRow + RowMerge + Send + 'static,
+{
+    fn merge_from(&mut self, other: &Self) {
+        CountSketch::merge_from(self, other);
+    }
+}
+
+/// How the pipeline assigns stream items to worker shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// Route each key to one shard via the router hash, so a key's entire
+    /// sub-stream lands on a single shard.  With sum-merge rows the merged
+    /// global view is byte-identical to the unsharded sketch.
+    #[default]
+    ByKey,
+    /// Deal items to shards round-robin (the "replicated" mode): every
+    /// shard sees an arbitrary slice of the stream and the global view is
+    /// the counter-wise union of all shards.  Load is perfectly balanced
+    /// even for skewed key distributions; sum-merge rows still reproduce
+    /// the unsharded sketch exactly.
+    RoundRobin,
+}
+
+impl Partition {
+    /// A short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Partition::ByKey => "by_key",
+            Partition::RoundRobin => "round_robin",
+        }
+    }
+}
+
+/// Configuration of a [`ShardedPipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Number of worker shards; each runs on its own thread.
+    pub shards: usize,
+    /// Items buffered per shard before a batch is dispatched to its worker.
+    pub batch_size: usize,
+    /// How items are assigned to shards.
+    pub partition: Partition,
+    /// Seed of the router hash (must be independent of the sketch seeds).
+    pub router_seed: u64,
+}
+
+impl PipelineConfig {
+    /// Default batch size: large enough to amortize channel traffic, small
+    /// enough that a batch of `u64`s stays well inside L1.
+    pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+    /// A configuration with `shards` workers, the default batch size,
+    /// [`Partition::ByKey`] routing and the default router seed.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            batch_size: Self::DEFAULT_BATCH_SIZE,
+            partition: Partition::default(),
+            router_seed: DEFAULT_ROUTER_SEED,
+        }
+    }
+
+    /// Returns the configuration with a different batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Returns the configuration with a different partitioning mode.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
+        self
+    }
+}

@@ -1,0 +1,451 @@
+//! The sharded ingestion pipeline: worker threads, batching, and the merged
+//! global view.
+//!
+//! One `std::thread` per shard owns that shard's sketch for the pipeline's
+//! whole lifetime — sketches are never shared or locked, so the hot path has
+//! no synchronization beyond the bounded batch channel.  [`ShardedPipeline`]
+//! buffers incoming items into per-shard batches, workers drain batches
+//! through [`FrequencyEstimator::batch_update`], and
+//! [`ShardedPipeline::finish`] joins the workers and folds their sketches
+//! into one [`PipelineOutput`] via [`MergeableSketch::merge_from`].
+//!
+//! [`FrequencyEstimator::batch_update`]: salsa_sketches::estimator::FrequencyEstimator::batch_update
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use salsa_hash::BobHash;
+
+use crate::{MergeableSketch, Partition, PipelineConfig};
+
+/// How many batches may queue per worker before `push` applies
+/// backpressure.  Small on purpose: it bounds memory and keeps producers
+/// from racing arbitrarily far ahead of slow shards.
+const CHANNEL_DEPTH: usize = 4;
+
+/// What a worker thread hands back when its channel closes.
+struct WorkerReport<S> {
+    sketch: S,
+    busy_secs: f64,
+    items: u64,
+    batches: u64,
+}
+
+struct Worker<S> {
+    tx: SyncSender<Vec<u64>>,
+    handle: JoinHandle<WorkerReport<S>>,
+}
+
+/// Per-shard ingestion statistics, reported by [`ShardedPipeline::finish`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Items this shard processed.
+    pub items: u64,
+    /// Batches this shard processed.
+    pub batches: u64,
+    /// Wall-clock seconds the shard spent inside `batch_update` (excludes
+    /// time blocked on the channel).
+    pub busy_secs: f64,
+}
+
+/// The result of a finished pipeline run: the merged global sketch plus
+/// per-shard statistics.
+#[derive(Debug)]
+pub struct PipelineOutput<S> {
+    /// The counter-wise union of every shard's sketch — the queryable
+    /// global view of the whole stream.
+    pub merged: S,
+    /// Per-shard ingestion statistics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Total items pushed through the pipeline.
+    pub items: u64,
+}
+
+impl<S> PipelineOutput<S> {
+    /// The busiest shard's busy time — the ingestion critical path.  On a
+    /// machine with one core per shard this is the wall-clock time the
+    /// sharded system needs for the stream, so
+    /// `items / critical_path_secs()` is the throughput sharding sustains.
+    pub fn critical_path_secs(&self) -> f64 {
+        self.shards.iter().map(|s| s.busy_secs).fold(0.0, f64::max)
+    }
+
+    /// Sum of all shards' busy times (total CPU work spent updating).
+    pub fn total_busy_secs(&self) -> f64 {
+        self.shards.iter().map(|s| s.busy_secs).sum()
+    }
+}
+
+/// A sharded, batched ingestion pipeline over any [`MergeableSketch`].
+///
+/// Build one with [`ShardedPipeline::new`], feed it with
+/// [`ShardedPipeline::push`] / [`ShardedPipeline::extend`], and call
+/// [`ShardedPipeline::finish`] to obtain the merged global view.  See the
+/// crate docs for the partitioning modes and their exactness guarantees.
+pub struct ShardedPipeline<S: MergeableSketch> {
+    partition: Partition,
+    batch_size: usize,
+    router: BobHash,
+    buffers: Vec<Vec<u64>>,
+    workers: Vec<Worker<S>>,
+    next_shard: usize,
+    pushed: u64,
+}
+
+impl<S: MergeableSketch> ShardedPipeline<S> {
+    /// Creates the pipeline and spawns one worker thread per shard.
+    ///
+    /// `factory` is called once per shard (with the shard index) to build
+    /// that shard's sketch.  Every call **must** use the same seed and
+    /// dimensions — the pipeline cannot check this generically, but
+    /// [`MergeableSketch::merge_from`] enforces it when
+    /// [`ShardedPipeline::finish`] folds the shards together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0` or `config.batch_size == 0`.
+    pub fn new(config: &PipelineConfig, mut factory: impl FnMut(usize) -> S) -> Self {
+        assert!(config.shards > 0, "a pipeline needs at least one shard");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let workers = (0..config.shards)
+            .map(|shard| {
+                let (tx, rx) = sync_channel::<Vec<u64>>(CHANNEL_DEPTH);
+                let mut sketch = factory(shard);
+                let handle = std::thread::Builder::new()
+                    .name(format!("salsa-shard-{shard}"))
+                    .spawn(move || {
+                        let mut busy_secs = 0.0;
+                        let mut items = 0u64;
+                        let mut batches = 0u64;
+                        while let Ok(batch) = rx.recv() {
+                            let start = Instant::now();
+                            sketch.batch_update(&batch);
+                            busy_secs += start.elapsed().as_secs_f64();
+                            items += batch.len() as u64;
+                            batches += 1;
+                        }
+                        WorkerReport {
+                            sketch,
+                            busy_secs,
+                            items,
+                            batches,
+                        }
+                    })
+                    .expect("failed to spawn shard worker thread");
+                Worker { tx, handle }
+            })
+            .collect();
+        Self {
+            partition: config.partition,
+            batch_size: config.batch_size,
+            router: BobHash::new(config.router_seed),
+            buffers: vec![Vec::with_capacity(config.batch_size); config.shards],
+            workers,
+            next_shard: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Number of worker shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Items pushed so far (buffered or dispatched).
+    #[inline]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The shard an item is routed to under the current partitioning mode.
+    ///
+    /// For [`Partition::RoundRobin`] this is the shard the *next* pushed
+    /// item would go to; for [`Partition::ByKey`] it is a pure function of
+    /// the key.
+    #[inline]
+    pub fn shard_of(&self, item: u64) -> usize {
+        match self.partition {
+            Partition::ByKey => (self.router.hash_u64(item) % self.workers.len() as u64) as usize,
+            Partition::RoundRobin => self.next_shard,
+        }
+    }
+
+    /// Feeds one item into the pipeline, dispatching a batch to the owning
+    /// worker when that shard's buffer fills up.
+    #[inline]
+    pub fn push(&mut self, item: u64) {
+        let shard = self.shard_of(item);
+        if self.partition == Partition::RoundRobin {
+            self.next_shard = (self.next_shard + 1) % self.workers.len();
+        }
+        self.pushed += 1;
+        let buffer = &mut self.buffers[shard];
+        buffer.push(item);
+        if buffer.len() >= self.batch_size {
+            let batch = std::mem::replace(buffer, Vec::with_capacity(self.batch_size));
+            self.dispatch(shard, batch);
+        }
+    }
+
+    /// Feeds a slice of items into the pipeline.
+    pub fn extend(&mut self, items: &[u64]) {
+        for &item in items {
+            self.push(item);
+        }
+    }
+
+    /// Dispatches every non-empty buffer to its worker, regardless of fill
+    /// level.
+    pub fn flush(&mut self) {
+        for shard in 0..self.buffers.len() {
+            if !self.buffers[shard].is_empty() {
+                let batch = std::mem::take(&mut self.buffers[shard]);
+                self.dispatch(shard, batch);
+            }
+        }
+    }
+
+    fn dispatch(&self, shard: usize, batch: Vec<u64>) {
+        // Blocks when the worker is CHANNEL_DEPTH batches behind
+        // (backpressure); only errors if the worker died, which would
+        // surface as a panic on join anyway.
+        self.workers[shard]
+            .tx
+            .send(batch)
+            .expect("shard worker disappeared while the pipeline was running");
+    }
+
+    /// Flushes remaining buffers, shuts the workers down, and merges every
+    /// shard's sketch into the global view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked, or if the shard sketches were
+    /// built with mismatched seeds/shapes (see
+    /// [`MergeableSketch::merge_from`]).
+    pub fn finish(mut self) -> PipelineOutput<S> {
+        self.flush();
+        let mut reports: Vec<WorkerReport<S>> = self
+            .workers
+            .drain(..)
+            .map(|worker| {
+                // Dropping the sender closes the channel; the worker drains
+                // queued batches and returns its report.
+                drop(worker.tx);
+                worker.handle.join().expect("shard worker thread panicked")
+            })
+            .collect();
+        let shards: Vec<ShardStats> = reports
+            .iter()
+            .map(|r| ShardStats {
+                items: r.items,
+                batches: r.batches,
+                busy_secs: r.busy_secs,
+            })
+            .collect();
+        let mut merged = reports.remove(0).sketch;
+        for report in &reports {
+            merged.merge_from(&report.sketch);
+        }
+        PipelineOutput {
+            merged,
+            shards,
+            items: self.pushed,
+        }
+    }
+}
+
+/// Convenience: builds a pipeline for `config`, streams `items` through it,
+/// and finishes it — the one-call form used by benches and examples.
+pub fn run_sharded<S: MergeableSketch>(
+    config: &PipelineConfig,
+    factory: impl FnMut(usize) -> S,
+    items: &[u64],
+) -> PipelineOutput<S> {
+    let mut pipeline = ShardedPipeline::new(config, factory);
+    pipeline.extend(items);
+    pipeline.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+    use salsa_core::traits::MergeOp;
+    use salsa_sketches::cms::CountMin;
+    use salsa_sketches::cs::CountSketch;
+    use salsa_sketches::cus::ConservativeUpdate;
+
+    fn zipfish_stream(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+                ((1.0 / u) as u64).min(universe - 1)
+            })
+            .collect()
+    }
+
+    fn unsharded<S: MergeableSketch>(mut sketch: S, items: &[u64]) -> S {
+        for chunk in items.chunks(PipelineConfig::DEFAULT_BATCH_SIZE) {
+            sketch.batch_update(chunk);
+        }
+        sketch
+    }
+
+    #[test]
+    fn by_key_sum_merge_cms_equals_unsharded() {
+        let items = zipfish_stream(50_000, 2_000, 5);
+        let make = |_: usize| CountMin::salsa(4, 512, 8, MergeOp::Sum, 11);
+        let out = run_sharded(&PipelineConfig::new(4), make, &items);
+        let single = unsharded(make(0), &items);
+        assert_eq!(out.items, items.len() as u64);
+        for item in 0..2_000u64 {
+            assert_eq!(
+                out.merged.estimate(item),
+                single.estimate(item),
+                "item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_sum_merge_cms_equals_unsharded() {
+        let items = zipfish_stream(50_000, 2_000, 7);
+        let make = |_: usize| CountMin::salsa(4, 512, 8, MergeOp::Sum, 13);
+        let config = PipelineConfig::new(3)
+            .with_partition(Partition::RoundRobin)
+            .with_batch_size(64);
+        let out = run_sharded(&config, make, &items);
+        let single = unsharded(make(0), &items);
+        for item in 0..2_000u64 {
+            assert_eq!(
+                out.merged.estimate(item),
+                single.estimate(item),
+                "item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_merge_cms_never_underestimates_across_shards() {
+        let items = zipfish_stream(40_000, 1_000, 9);
+        let mut truth = std::collections::HashMap::new();
+        for &item in &items {
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        for partition in [Partition::ByKey, Partition::RoundRobin] {
+            let config = PipelineConfig::new(4).with_partition(partition);
+            let out = run_sharded(
+                &config,
+                |_| CountMin::salsa(4, 512, 8, MergeOp::Max, 17),
+                &items,
+            );
+            for (&item, &count) in &truth {
+                assert!(
+                    out.merged.estimate(item) >= count,
+                    "{} item {item}",
+                    partition.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cus_and_cs_run_sharded() {
+        let items = zipfish_stream(30_000, 800, 21);
+        let mut truth = std::collections::HashMap::new();
+        for &item in &items {
+            *truth.entry(item).or_insert(0i64) += 1;
+        }
+        let cus = run_sharded(
+            &PipelineConfig::new(4),
+            |_| ConservativeUpdate::salsa(4, 512, 8, 23),
+            &items,
+        );
+        for (&item, &count) in &truth {
+            assert!(cus.merged.estimate(item) >= count as u64, "CUS item {item}");
+        }
+        // The Count Sketch merged view is the exact counter-wise union;
+        // check the heaviest item is recovered within a loose band.
+        let cs = run_sharded(
+            &PipelineConfig::new(4),
+            |_| CountSketch::salsa(5, 1024, 16, 29),
+            &items,
+        );
+        let (&heavy, &count) = truth.iter().max_by_key(|(_, &c)| c).unwrap();
+        let est = cs.merged.estimate(heavy);
+        assert!(
+            (est - count).abs() as f64 <= 0.1 * count as f64,
+            "CS heavy item {heavy}: {est} vs {count}"
+        );
+    }
+
+    #[test]
+    fn by_key_routes_each_key_to_one_shard() {
+        let config = PipelineConfig::new(5);
+        let pipeline =
+            ShardedPipeline::new(&config, |_| CountMin::salsa(2, 64, 8, MergeOp::Sum, 1));
+        for key in 0..500u64 {
+            let first = pipeline.shard_of(key);
+            assert!(first < 5);
+            assert_eq!(first, pipeline.shard_of(key), "routing must be pure");
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_item_and_batch() {
+        let items: Vec<u64> = (0..10_000).map(|i| i % 97).collect();
+        let config = PipelineConfig::new(4)
+            .with_partition(Partition::RoundRobin)
+            .with_batch_size(128);
+        let out = run_sharded(
+            &config,
+            |_| CountMin::salsa(2, 128, 8, MergeOp::Sum, 3),
+            &items,
+        );
+        assert_eq!(out.items, 10_000);
+        assert_eq!(out.shards.len(), 4);
+        assert_eq!(out.shards.iter().map(|s| s.items).sum::<u64>(), 10_000);
+        // Round-robin deals items evenly.
+        for stats in &out.shards {
+            assert_eq!(stats.items, 2_500);
+            assert!(stats.batches >= 2_500 / 128);
+            assert!(stats.busy_secs >= 0.0);
+        }
+        assert!(out.critical_path_secs() <= out.total_busy_secs());
+    }
+
+    #[test]
+    fn single_shard_pipeline_degenerates_to_one_sketch() {
+        let items = zipfish_stream(5_000, 200, 31);
+        let make = |_: usize| CountMin::salsa(4, 256, 8, MergeOp::Sum, 37);
+        let out = run_sharded(&PipelineConfig::new(1).with_batch_size(1), make, &items);
+        let single = unsharded(make(0), &items);
+        for item in 0..200u64 {
+            assert_eq!(out.merged.estimate(item), single.estimate(item));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share hash seeds")]
+    fn mismatched_shard_seeds_panic_at_finish() {
+        let items = zipfish_stream(1_000, 100, 1);
+        let _ = run_sharded(
+            &PipelineConfig::new(2),
+            |shard| CountMin::salsa(2, 128, 8, MergeOp::Sum, shard as u64),
+            &items,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedPipeline::new(&PipelineConfig::new(0), |_| {
+            CountMin::salsa(2, 64, 8, MergeOp::Sum, 1)
+        });
+    }
+}

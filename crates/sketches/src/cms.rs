@@ -26,6 +26,10 @@ use crate::estimator::FrequencyEstimator;
 pub struct CountMin<R: Row> {
     rows: Vec<R>,
     hashers: RowHashers,
+    seed: u64,
+    /// Scratch space for per-batch buckets, so the batched hot path does not
+    /// pay an allocation per batch (cf. the CUS per-update scratch).
+    scratch: Vec<usize>,
 }
 
 impl<R: Row> CountMin<R> {
@@ -39,7 +43,19 @@ impl<R: Row> CountMin<R> {
             "all rows must have the same width"
         );
         let hashers = RowHashers::new(rows.len(), width, seed);
-        Self { rows, hashers }
+        Self {
+            rows,
+            hashers,
+            seed,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The hash seed the sketch was built with.  Two sketches can only be
+    /// combined counter-wise when their seeds (and shapes) are equal.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of rows (`d`).
@@ -80,6 +96,24 @@ impl<R: Row> CountMin<R> {
         }
     }
 
+    /// Processes a batch of unit-weight updates row-major: every item of the
+    /// batch is applied to row 0, then to row 1, and so on.
+    ///
+    /// CMS updates are independent across rows, so reordering them is exact;
+    /// the row-major order keeps one row's counters (and one hash function)
+    /// hot in cache across the whole batch, which is what makes this the
+    /// pipeline's fast path.
+    pub fn update_batch(&mut self, items: &[u64]) {
+        let mut buckets = std::mem::take(&mut self.scratch);
+        let hashers = &self.hashers;
+        for (row_idx, row) in self.rows.iter_mut().enumerate() {
+            buckets.clear();
+            buckets.extend(items.iter().map(|&item| hashers.bucket(row_idx, item)));
+            row.add_unit_batch(&buckets);
+        }
+        self.scratch = buckets;
+    }
+
     /// Estimates the frequency of `item` (minimum over the item's counters).
     #[inline]
     pub fn estimate(&self, item: u64) -> u64 {
@@ -107,6 +141,30 @@ impl<R: Row + RowMerge> CountMin<R> {
     /// producing the sketch of the union stream (`s(A ∪ B) = s(A) + s(B)`).
     pub fn absorb(&mut self, other: &Self) {
         assert_eq!(self.depth(), other.depth(), "sketch depths must match");
+        for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
+            a.absorb(b);
+        }
+    }
+
+    /// Counter-wise merges `other` into `self` (Section V): afterwards this
+    /// sketch summarizes the union of the two input streams.
+    ///
+    /// Unlike [`CountMin::absorb`], which only checks depths, this enforces
+    /// the full contract the paper's merge results rely on — the operands
+    /// must have been built with the *same hash functions* over the *same
+    /// shape* — by asserting equal seeds, depths and widths.  The sharded
+    /// pipeline uses this to fold per-shard sketches into the global view.
+    ///
+    /// With sum-merge rows the merged sketch's estimates are identical to
+    /// the sketch of the concatenated stream; with max-merge rows they are a
+    /// (never-underestimating) over-approximation.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.seed, other.seed,
+            "sketches must share hash seeds to merge"
+        );
+        assert_eq!(self.depth(), other.depth(), "sketch depths must match");
+        assert_eq!(self.width(), other.width(), "sketch widths must match");
         for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
             a.absorb(b);
         }
@@ -190,6 +248,10 @@ impl<R: Row> FrequencyEstimator for CountMin<R> {
     fn update(&mut self, item: u64, value: i64) {
         debug_assert!(value >= 0, "CMS operates on non-negative updates");
         CountMin::update(self, item, value as u64);
+    }
+
+    fn batch_update(&mut self, items: &[u64]) {
+        CountMin::update_batch(self, items);
     }
 
     fn estimate(&self, item: u64) -> i64 {
@@ -355,6 +417,56 @@ mod tests {
                 "item {item}: merged {merged} direct {direct}"
             );
         }
+    }
+
+    #[test]
+    fn update_batch_matches_per_item_updates() {
+        let mut batched = CountMin::salsa(4, 256, 8, MergeOp::Sum, 9);
+        let mut looped = CountMin::salsa(4, 256, 8, MergeOp::Sum, 9);
+        let mut state = 1u64;
+        let items: Vec<u64> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) % 500
+            })
+            .collect();
+        for chunk in items.chunks(256) {
+            batched.update_batch(chunk);
+        }
+        for &item in &items {
+            looped.update(item, 1);
+        }
+        for item in 0..500u64 {
+            assert_eq!(batched.estimate(item), looped.estimate(item), "item {item}");
+        }
+    }
+
+    #[test]
+    fn merge_from_of_sum_sketches_equals_concatenated_stream() {
+        let seed = 13;
+        let mut sa = CountMin::salsa(3, 128, 8, MergeOp::Sum, seed);
+        let mut sb = CountMin::salsa(3, 128, 8, MergeOp::Sum, seed);
+        let mut concat = CountMin::salsa(3, 128, 8, MergeOp::Sum, seed);
+        for item in 0u64..400 {
+            sa.update(item, item % 90);
+            concat.update(item, item % 90);
+        }
+        for item in 100u64..500 {
+            sb.update(item, 3);
+            concat.update(item, 3);
+        }
+        sa.merge_from(&sb);
+        for item in 0u64..500 {
+            assert_eq!(sa.estimate(item), concat.estimate(item), "item {item}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share hash seeds")]
+    fn merge_from_rejects_different_seeds() {
+        let mut sa = CountMin::salsa(3, 128, 8, MergeOp::Sum, 1);
+        let sb = CountMin::salsa(3, 128, 8, MergeOp::Sum, 2);
+        sa.merge_from(&sb);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub struct CountSketch<S: SignedRow> {
     rows: Vec<S>,
     hashers: RowHashers,
     signs: SignHash,
+    seed: u64,
 }
 
 impl<S: SignedRow> CountSketch<S> {
@@ -43,7 +44,14 @@ impl<S: SignedRow> CountSketch<S> {
             rows,
             hashers: RowHashers::new(depth, width, seed),
             signs: SignHash::new(depth, seed),
+            seed,
         }
+    }
+
+    /// The hash seed the sketch was built with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of rows (`d`).
@@ -70,6 +78,21 @@ impl<S: SignedRow> CountSketch<S> {
             let bucket = self.hashers.bucket(row_idx, item);
             let sign = self.signs.sign(row_idx, item);
             row.add(bucket, value * sign);
+        }
+    }
+
+    /// Processes a batch of unit-weight updates row-major (all items against
+    /// row 0, then row 1, …).
+    ///
+    /// Count Sketch updates are independent across rows, so the reordering
+    /// is exact while keeping one row's counters, index hash and sign hash
+    /// hot in cache across the whole batch.
+    pub fn update_batch(&mut self, items: &[u64]) {
+        for (row_idx, row) in self.rows.iter_mut().enumerate() {
+            for &item in items {
+                let bucket = self.hashers.bucket(row_idx, item);
+                row.add(bucket, self.signs.sign(row_idx, item));
+            }
         }
     }
 
@@ -123,6 +146,25 @@ impl<S: SignedRow + RowMerge> CountSketch<S> {
             a.subtract(b);
         }
     }
+
+    /// Counter-wise merges `other` into `self` (same seeds and shape
+    /// enforced): afterwards this sketch summarizes the union of the two
+    /// input streams.
+    ///
+    /// Count Sketch counters are plain signed sums, so the merged sketch's
+    /// per-row values equal those of a sketch fed both streams; the SALSA
+    /// variant keeps the estimate unbiased across the merge (Lemma V.4).
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.seed, other.seed,
+            "sketches must share hash seeds to merge"
+        );
+        assert_eq!(self.depth(), other.depth(), "sketch depths must match");
+        assert_eq!(self.width(), other.width(), "sketch widths must match");
+        for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
+            a.absorb(b);
+        }
+    }
 }
 
 impl CountSketch<FixedSignedRow> {
@@ -168,6 +210,10 @@ impl CountSketch<SalsaSignedRow<LayoutCodes>> {
 impl<S: SignedRow> FrequencyEstimator for CountSketch<S> {
     fn update(&mut self, item: u64, value: i64) {
         CountSketch::update(self, item, value);
+    }
+
+    fn batch_update(&mut self, items: &[u64]) {
+        CountSketch::update_batch(self, items);
     }
 
     fn estimate(&self, item: u64) -> i64 {
@@ -322,6 +368,89 @@ mod tests {
         }
         sa.absorb(&sb);
         assert_eq!(sa.estimate(5), 90);
+    }
+
+    #[test]
+    fn merge_from_equals_single_sketch_when_counters_do_not_overflow() {
+        // With 16-bit base counters and 30 000 total unit updates no
+        // sign-magnitude counter can overflow (|sum| ≤ 30 000 < 2^15 − 1),
+        // so merging is exactly counter-wise addition and must reproduce the
+        // single sketch of the concatenated stream.  (With merges the two
+        // can legitimately diverge: sign cancellation across shards changes
+        // which counters overflow.)
+        let seed = 29;
+        let mut sa = CountSketch::salsa(5, 512, 16, seed);
+        let mut sb = CountSketch::salsa(5, 512, 16, seed);
+        let mut concat = CountSketch::salsa(5, 512, 16, seed);
+        for &item in &zipfish_stream(15_000, 300, 41) {
+            sa.update(item, 1);
+            concat.update(item, 1);
+        }
+        for &item in &zipfish_stream(15_000, 300, 43) {
+            sb.update(item, 1);
+            concat.update(item, 1);
+        }
+        sa.merge_from(&sb);
+        for item in 0..300u64 {
+            assert_eq!(sa.estimate(item), concat.estimate(item), "item {item}");
+        }
+    }
+
+    #[test]
+    fn merge_from_preserves_row_mass_even_with_merges() {
+        // Sum-merging never loses signed mass: per row, the sum over the
+        // logical counters equals the signed sum of all updates hashed into
+        // the row, whether the stream was sketched in one pass or sketched
+        // in shards and merged — even when the narrow 8-bit counters force
+        // many merge events along the way.
+        let seed = 47;
+        let mut sa = CountSketch::salsa(5, 256, 8, seed);
+        let mut sb = CountSketch::salsa(5, 256, 8, seed);
+        let mut concat = CountSketch::salsa(5, 256, 8, seed);
+        for &item in &zipfish_stream(20_000, 300, 51) {
+            sa.update(item, 1);
+            concat.update(item, 1);
+        }
+        for &item in &zipfish_stream(20_000, 300, 53) {
+            sb.update(item, 1);
+            concat.update(item, 1);
+        }
+        sa.merge_from(&sb);
+        assert!(
+            sa.rows()
+                .iter()
+                .any(|r| r.counters().any(|(_, l, _)| l > 0)),
+            "the 8-bit configuration should actually trigger merges"
+        );
+        for (merged_row, concat_row) in sa.rows().iter().zip(concat.rows().iter()) {
+            let merged_mass: i64 = merged_row.counters().map(|(_, _, v)| v).sum();
+            let concat_mass: i64 = concat_row.counters().map(|(_, _, v)| v).sum();
+            assert_eq!(merged_mass, concat_mass);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share hash seeds")]
+    fn merge_from_rejects_different_seeds() {
+        let mut sa = CountSketch::salsa(3, 128, 8, 1);
+        let sb = CountSketch::salsa(3, 128, 8, 2);
+        sa.merge_from(&sb);
+    }
+
+    #[test]
+    fn update_batch_matches_per_item_updates() {
+        let mut batched = CountSketch::salsa(5, 512, 8, 3);
+        let mut looped = CountSketch::salsa(5, 512, 8, 3);
+        let items = zipfish_stream(10_000, 400, 21);
+        for chunk in items.chunks(128) {
+            batched.update_batch(chunk);
+        }
+        for &item in &items {
+            looped.update(item, 1);
+        }
+        for item in 0..400u64 {
+            assert_eq!(batched.estimate(item), looped.estimate(item), "item {item}");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use salsa_core::compact::LayoutCodes;
 use salsa_core::encoding::MergeEncoding;
 use salsa_core::fixed::FixedRow;
+use salsa_core::merge::RowMerge;
 use salsa_core::row::SalsaRow;
 use salsa_core::tango::TangoRow;
 use salsa_core::traits::{MergeOp, Row};
@@ -23,6 +24,7 @@ pub struct ConservativeUpdate<R: Row> {
     /// Scratch space for per-row buckets, avoiding re-hashing during the
     /// read-then-raise update.
     buckets: Vec<usize>,
+    seed: u64,
 }
 
 impl<R: Row> ConservativeUpdate<R> {
@@ -40,7 +42,14 @@ impl<R: Row> ConservativeUpdate<R> {
             rows,
             hashers,
             buckets: vec![0; depth],
+            seed,
         }
+    }
+
+    /// The hash seed the sketch was built with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of rows (`d`).
@@ -74,6 +83,18 @@ impl<R: Row> ConservativeUpdate<R> {
         }
     }
 
+    /// Processes a batch of unit-weight updates.
+    ///
+    /// The conservative update reads the item's estimate *before* raising
+    /// its counters, so updates cannot be reordered across items the way CMS
+    /// updates can; this loop therefore stays item-major, and the win over
+    /// the generic path is monomorphization (no per-item virtual dispatch).
+    pub fn update_batch(&mut self, items: &[u64]) {
+        for &item in items {
+            self.update(item, 1);
+        }
+    }
+
     /// Estimates the frequency of `item`.
     #[inline]
     pub fn estimate(&self, item: u64) -> u64 {
@@ -92,6 +113,32 @@ impl<R: Row> ConservativeUpdate<R> {
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
         self.rows.iter_mut().for_each(Row::reset);
+    }
+}
+
+impl<R: Row + RowMerge> ConservativeUpdate<R> {
+    /// Counter-wise merges `other` into `self` (same seeds and shape
+    /// enforced): every counter becomes the sum of the two operands'
+    /// counters.
+    ///
+    /// The result never under-estimates the union stream (each operand
+    /// counter upper-bounds its shard's frequencies, so their sum
+    /// upper-bounds the total), but it is *not* the sketch a single CUS
+    /// would have built from the concatenated stream — conservative updates
+    /// are order-dependent and use cross-row information that counter-wise
+    /// merging cannot reconstruct.  Merged estimates are therefore looser
+    /// than single-sketch CUS estimates, while staying upper-bounded by the
+    /// merged CMS with the same configuration.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.seed, other.seed,
+            "sketches must share hash seeds to merge"
+        );
+        assert_eq!(self.depth(), other.depth(), "sketch depths must match");
+        assert_eq!(self.width(), other.width(), "sketch widths must match");
+        for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
+            a.absorb(b);
+        }
     }
 }
 
@@ -148,6 +195,10 @@ impl<R: Row> FrequencyEstimator for ConservativeUpdate<R> {
     fn update(&mut self, item: u64, value: i64) {
         debug_assert!(value >= 0, "CUS operates in the Cash Register model");
         ConservativeUpdate::update(self, item, value as u64);
+    }
+
+    fn batch_update(&mut self, items: &[u64]) {
+        ConservativeUpdate::update_batch(self, items);
     }
 
     fn estimate(&self, item: u64) -> i64 {
@@ -265,5 +316,49 @@ mod tests {
         cus.update(1, 1000);
         cus.reset();
         assert_eq!(cus.estimate(1), 0);
+    }
+
+    #[test]
+    fn merge_from_never_underestimates_the_union_stream() {
+        let seed = 31;
+        let mut sa = ConservativeUpdate::salsa(4, 128, 8, seed);
+        let mut sb = ConservativeUpdate::salsa(4, 128, 8, seed);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &item in &zipfish_stream(20_000, 500, 3) {
+            sa.update(item, 1);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        for &item in &zipfish_stream(20_000, 500, 4) {
+            sb.update(item, 1);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        sa.merge_from(&sb);
+        for (&item, &count) in &truth {
+            assert!(sa.estimate(item) >= count, "item {item}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share hash seeds")]
+    fn merge_from_rejects_different_seeds() {
+        let mut sa = ConservativeUpdate::salsa(2, 128, 8, 1);
+        let sb = ConservativeUpdate::salsa(2, 128, 8, 2);
+        sa.merge_from(&sb);
+    }
+
+    #[test]
+    fn update_batch_matches_per_item_updates() {
+        let mut batched = ConservativeUpdate::salsa(4, 256, 8, 7);
+        let mut looped = ConservativeUpdate::salsa(4, 256, 8, 7);
+        let items = zipfish_stream(10_000, 400, 9);
+        for chunk in items.chunks(128) {
+            batched.update_batch(chunk);
+        }
+        for &item in &items {
+            looped.update(item, 1);
+        }
+        for item in 0..400u64 {
+            assert_eq!(batched.estimate(item), looped.estimate(item), "item {item}");
+        }
     }
 }
