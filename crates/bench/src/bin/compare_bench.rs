@@ -1,0 +1,280 @@
+//! Perf-regression gate: diffs fresh `--json` perf snapshots against the
+//! committed baseline and fails on a throughput regression.
+//!
+//! ```text
+//! # gate (CI): exit 1 if any gated metric regressed > threshold
+//! compare_bench --baseline BENCH_baseline.json \
+//!               --fresh BENCH_pipeline.json --fresh BENCH_live_query.json
+//!
+//! # refresh the committed baseline from fresh snapshots
+//! compare_bench --write-baseline BENCH_baseline.json \
+//!               --fresh BENCH_pipeline.json --fresh BENCH_live_query.json
+//! ```
+//!
+//! Snapshot files are the objects emitted by `fig_pipeline_scaling` /
+//! `fig_live_query` with `--json`: a `bench` name plus a `points` array.
+//! Every numeric field of every point becomes a metric named
+//! `{bench}/{labels}/{field}` (labels are the point's `partition` /
+//! `shards` / `qps` fields).  **Gated** metrics — `scaled_mops`
+//! (critical-path rate, insensitive to the runner's core *count*) and
+//! `ingest_mops` (wall-clock ingest rate under query load) — fail the run
+//! when they drop more than the threshold below the baseline; `wall_mops`
+//! and everything else is reported for information only.  All of these
+//! are absolute rates, so the committed baseline is tied to a hardware
+//! class: on a materially slower/faster runner, re-baseline with
+//! `--write-baseline` (or loosen `BENCH_REGRESSION_THRESHOLD`) rather
+//! than chasing phantom regressions.
+//!
+//! The comparison table is printed as GitHub-flavored markdown to stdout
+//! and appended to `$GITHUB_STEP_SUMMARY` when that variable is set (i.e.
+//! in CI).  The threshold resolves, in order: `--threshold`, the
+//! `BENCH_REGRESSION_THRESHOLD` env var, the baseline file's `threshold`
+//! field, `0.25`.
+
+use std::collections::BTreeMap;
+
+use salsa_bench::json::{escape, parse, Json};
+
+/// Fields that identify a point rather than measure it.
+const LABEL_FIELDS: &[&str] = &["partition", "shards", "qps"];
+
+/// Metrics whose regression fails the gate.  `wall_mops` is excluded on
+/// purpose: it scales with the runner's core count, not with the code.
+const GATED_SUFFIXES: &[&str] = &["scaled_mops", "ingest_mops"];
+
+fn is_gated(metric: &str) -> bool {
+    GATED_SUFFIXES.iter().any(|s| metric.ends_with(s))
+}
+
+/// Formats a label value: integers without a fraction, strings verbatim.
+fn label_value(value: &Json) -> Option<String> {
+    match value {
+        Json::Str(s) => Some(s.clone()),
+        Json::Num(n) if n.fract() == 0.0 => Some(format!("{}", *n as i64)),
+        Json::Num(n) => Some(format!("{n}")),
+        _ => None,
+    }
+}
+
+/// Flattens one snapshot document into `metric name → value`.
+fn flatten(doc: &Json, source: &str) -> Result<BTreeMap<String, f64>, String> {
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{source}: missing \"bench\" name"))?;
+    let points = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{source}: missing \"points\" array"))?;
+    let mut metrics = BTreeMap::new();
+    for point in points {
+        let members = point
+            .as_obj()
+            .ok_or_else(|| format!("{source}: non-object point"))?;
+        let labels: Vec<String> = LABEL_FIELDS
+            .iter()
+            .filter_map(|&field| {
+                point
+                    .get(field)
+                    .and_then(label_value)
+                    .map(|v| format!("{field}={v}"))
+            })
+            .collect();
+        for (key, value) in members {
+            if LABEL_FIELDS.contains(&key.as_str()) {
+                continue;
+            }
+            if let Some(number) = value.as_f64() {
+                let name = if labels.is_empty() {
+                    format!("{bench}/{key}")
+                } else {
+                    format!("{bench}/{}/{key}", labels.join("/"))
+                };
+                metrics.insert(name, number);
+            }
+        }
+    }
+    if metrics.is_empty() {
+        return Err(format!("{source}: no numeric metrics found"));
+    }
+    Ok(metrics)
+}
+
+fn read_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_baseline(path: &str, threshold: f64, metrics: &BTreeMap<String, f64>) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threshold\": {threshold},\n"));
+    out.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.4}{}\n",
+            escape(name),
+            value,
+            if i + 1 == metrics.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("failed to write baseline {path}: {e}"));
+    eprintln!("wrote baseline with {} metrics to {path}", metrics.len());
+}
+
+struct Cli {
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    fresh: Vec<String>,
+    threshold: Option<f64>,
+}
+
+fn parse_cli() -> Cli {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut cli = Cli {
+        baseline: None,
+        write_baseline: None,
+        fresh: Vec::new(),
+        threshold: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" => cli.baseline = argv.get(i + 1).cloned(),
+            "--write-baseline" => cli.write_baseline = argv.get(i + 1).cloned(),
+            "--fresh" => cli.fresh.extend(argv.get(i + 1).cloned()),
+            "--threshold" => cli.threshold = argv.get(i + 1).and_then(|v| v.parse().ok()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: compare_bench (--baseline B | --write-baseline B) \
+                     --fresh F [--fresh F ...] [--threshold 0.25]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("compare_bench: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    if cli.fresh.is_empty() || (cli.baseline.is_none() && cli.write_baseline.is_none()) {
+        eprintln!("compare_bench: need --fresh and one of --baseline / --write-baseline");
+        std::process::exit(2);
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let mut fresh = BTreeMap::new();
+    for path in &cli.fresh {
+        let doc = read_json(path).unwrap_or_else(|e| panic!("bad fresh snapshot: {e}"));
+        let metrics = flatten(&doc, path).unwrap_or_else(|e| panic!("bad fresh snapshot: {e}"));
+        fresh.extend(metrics);
+    }
+
+    if let Some(path) = &cli.write_baseline {
+        write_baseline(path, cli.threshold.unwrap_or(0.25), &fresh);
+        return;
+    }
+
+    let baseline_path = cli.baseline.expect("checked in parse_cli");
+    let baseline_doc = read_json(&baseline_path).unwrap_or_else(|e| panic!("bad baseline: {e}"));
+    let baseline: BTreeMap<String, f64> = baseline_doc
+        .get("metrics")
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| panic!("{baseline_path}: missing \"metrics\" object"))
+        .iter()
+        .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+        .collect();
+    let threshold = cli
+        .threshold
+        .or_else(|| {
+            std::env::var("BENCH_REGRESSION_THRESHOLD")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .or_else(|| baseline_doc.get("threshold").and_then(Json::as_f64))
+        .unwrap_or(0.25);
+
+    // Compare every metric either side knows about.
+    let names: Vec<&String> = {
+        let mut names: Vec<&String> = baseline.keys().chain(fresh.keys()).collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    let mut table = String::new();
+    table.push_str(&format!(
+        "### Perf gate: fresh snapshots vs `{baseline_path}` (fail below −{:.0}% on gated metrics)\n\n",
+        threshold * 100.0
+    ));
+    table.push_str("| metric | baseline | fresh | Δ | status |\n");
+    table.push_str("|---|---:|---:|---:|---|\n");
+    let mut failures = 0usize;
+    for name in names {
+        let (old, new) = (baseline.get(name), fresh.get(name));
+        let gated = is_gated(name);
+        let (delta, status) = match (old, new) {
+            (Some(&old), Some(&new)) => {
+                let delta = if old.abs() > f64::EPSILON {
+                    format!("{:+.1}%", (new - old) / old * 100.0)
+                } else {
+                    "—".to_string()
+                };
+                let regressed = gated && new < old * (1.0 - threshold);
+                if regressed {
+                    failures += 1;
+                }
+                let status = match (gated, regressed) {
+                    (true, true) => "**REGRESSED**",
+                    (true, false) => "ok",
+                    (false, _) => "info",
+                };
+                (delta, status)
+            }
+            (None, Some(_)) => ("—".to_string(), "new (not in baseline)"),
+            (Some(_), None) => {
+                // A gated metric that silently disappears would make the
+                // gate vacuous, so its absence is itself a failure.
+                if gated {
+                    failures += 1;
+                    ("—".to_string(), "**MISSING** from fresh run")
+                } else {
+                    ("—".to_string(), "missing from fresh run")
+                }
+            }
+            (None, None) => unreachable!("name came from one of the maps"),
+        };
+        let fmt_cell = |v: Option<&f64>| match v {
+            Some(v) => format!("{v:.3}"),
+            None => "—".to_string(),
+        };
+        table.push_str(&format!(
+            "| `{name}` | {} | {} | {delta} | {status} |\n",
+            fmt_cell(old),
+            fmt_cell(new)
+        ));
+    }
+    table.push_str(&format!(
+        "\n{} gated metric(s) regressed. Refresh with `compare_bench --write-baseline {baseline_path} --fresh ...` after intentional perf changes.\n",
+        failures
+    ));
+
+    print!("{table}");
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write as _;
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&summary_path)
+        {
+            let _ = writeln!(file, "{table}");
+        }
+    }
+    if failures > 0 {
+        eprintln!("compare_bench: {failures} gated metric(s) regressed more than {threshold}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Live-query serving: ingest throughput under concurrent snapshot/query
+//! load, plus query latency and snapshot staleness (this figure is ours,
+//! not the paper's — it evaluates the Section V merge machinery as a
+//! *serving* mechanism: per-shard sketches are cloned and folded into
+//! epoch-stamped views while the stream keeps flowing).
+//!
+//! For each query rate (0, 10 and 100 queries per second) the binary
+//! streams a Zipf trace through a [`salsa_pipeline::ShardedPipeline`] of
+//! SALSA sum-merge CMS shards, repeating the trace until a minimum wall
+//! time has elapsed, while a separate query thread takes
+//! [`salsa_pipeline::LiveHandle`] snapshots at the configured rate and runs
+//! a top-k query against each view.  Reported per rate:
+//!
+//! * `ingest_mops` — wall-clock ingest throughput *under that query load*
+//!   (the 0-qps row is the do-nothing baseline);
+//! * `p50_query_ms` / `p99_query_ms` — snapshot-query latency quantiles
+//!   (clone every shard + counter-wise fold);
+//! * `max_staleness_items` / `max_staleness_ms` — worst observed snapshot
+//!   staleness: acknowledged updates missing from a served view, and the
+//!   view's age when the query finished using it.
+//!
+//! Output columns:
+//! `qps,queries,ingest_mops,p50_query_ms,p99_query_ms,max_staleness_items,max_staleness_ms`.
+//! `--json PATH` additionally writes a machine-readable snapshot (uploaded
+//! as `BENCH_live_query.json` by the `bench-smoke` CI job and diffed
+//! against `BENCH_baseline.json` by `compare_bench`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use salsa_bench::*;
+use salsa_core::traits::MergeOp;
+use salsa_metrics::{mops_for, LatencySeries, StalenessTracker};
+use salsa_pipeline::{PipelineConfig, ShardedPipeline, SnapshotableSketch};
+use salsa_sketches::prelude::*;
+use salsa_workloads::TraceSpec;
+
+/// One measured point of the figure.
+struct Point {
+    qps: u32,
+    queries: u64,
+    ingest_mops: f64,
+    p50_query_ms: f64,
+    p99_query_ms: f64,
+    max_staleness_items: u64,
+    max_staleness_ms: f64,
+}
+
+/// Clamps a non-finite rate to 0.0 so the JSON snapshot stays parseable.
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+fn parse_json_path() -> Option<String> {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| argv.get(i + 1).cloned())
+}
+
+fn main() {
+    let args = Args::parse(1_000_000, 1);
+    let json_path = parse_json_path();
+    let shards = 4;
+    let depth = 4;
+    let width = if args.quick { 1 << 14 } else { 1 << 16 };
+    let min_secs = if args.quick { 0.25 } else { 2.0 };
+    let top_k = 8;
+
+    let items = trace_items(
+        TraceSpec::Zipf {
+            universe: 100_000,
+            skew: 1.0,
+        },
+        args.updates,
+        args.seed,
+    );
+    // The served top-k query ranks a tracked candidate hot-set; sample the
+    // trace so the candidates are real (hashed) keys, not dense ranks.
+    let candidates: Vec<u64> = items
+        .iter()
+        .step_by(items.len() / 2_048 + 1)
+        .copied()
+        .collect();
+
+    csv_header(&[
+        "qps",
+        "queries",
+        "ingest_mops",
+        "p50_query_ms",
+        "p99_query_ms",
+        "max_staleness_items",
+        "max_staleness_ms",
+    ]);
+    let mut points = Vec::new();
+    for qps in [0u32, 10, 100] {
+        let config = PipelineConfig::new(shards);
+        let mut pipeline = ShardedPipeline::new(&config, |_| {
+            CountMin::salsa(depth, width, 8, MergeOp::Sum, args.seed)
+        });
+        let handle = pipeline.live_handle();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let query_thread = (qps > 0).then(|| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            let candidates = candidates.clone();
+            let period = Duration::from_secs_f64(1.0 / qps as f64);
+            std::thread::spawn(move || {
+                let mut latency = LatencySeries::new();
+                let mut staleness = StalenessTracker::new();
+                while !stop.load(Ordering::Acquire) {
+                    let issued = Instant::now();
+                    let Some(view) = handle.snapshot() else {
+                        break; // the pipeline has been finished
+                    };
+                    // The served query: top-k over the candidate hot set.
+                    let hot = view.top_k(top_k, candidates.iter().copied());
+                    assert!(hot.len() <= top_k);
+                    latency.record(issued.elapsed());
+                    staleness.record(
+                        handle.acknowledged().saturating_sub(view.epoch()),
+                        view.staleness(),
+                    );
+                    std::thread::sleep(period.saturating_sub(issued.elapsed()));
+                }
+                (latency, staleness)
+            })
+        });
+
+        // Ingest: repeat the trace until the minimum wall time has elapsed,
+        // so slower machines still measure under sustained query load.
+        let started = Instant::now();
+        let mut pushed = 0u64;
+        loop {
+            pipeline.extend(&items);
+            pushed += items.len() as u64;
+            if started.elapsed().as_secs_f64() >= min_secs {
+                break;
+            }
+        }
+        let ingest_secs = started.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Release);
+        let out = pipeline.finish();
+        assert_eq!(out.items, pushed);
+        let (latency, staleness) = match query_thread {
+            Some(thread) => thread.join().expect("query thread panicked"),
+            None => (LatencySeries::new(), StalenessTracker::new()),
+        };
+
+        let point = Point {
+            qps,
+            queries: latency.len() as u64,
+            ingest_mops: finite(mops_for(pushed, ingest_secs)),
+            p50_query_ms: finite(latency.p50_secs() * 1e3),
+            p99_query_ms: finite(latency.p99_secs() * 1e3),
+            max_staleness_items: staleness.max_lag_items(),
+            max_staleness_ms: finite(staleness.max_age_secs() * 1e3),
+        };
+        csv_row(&[
+            format!("{}", point.qps),
+            format!("{}", point.queries),
+            fmt(point.ingest_mops),
+            fmt(point.p50_query_ms),
+            fmt(point.p99_query_ms),
+            format!("{}", point.max_staleness_items),
+            fmt(point.max_staleness_ms),
+        ]);
+        points.push(point);
+
+        if qps == 0 {
+            // Sanity context for the snapshot cost model, printed once.
+            let per_snapshot = SnapshotableSketch::clone_cost_bytes(&out.merged) * shards;
+            eprintln!("snapshot clone cost: {per_snapshot} bytes across {shards} shards");
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut json = String::from("{\n");
+        json.push_str("  \"bench\": \"fig_live_query\",\n");
+        json.push_str("  \"sketch\": \"salsa_cms_sum\",\n");
+        json.push_str(&format!("  \"updates\": {},\n", args.updates));
+        json.push_str(&format!("  \"seed\": {},\n", args.seed));
+        json.push_str(&format!("  \"shards\": {shards},\n"));
+        json.push_str("  \"points\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"qps\": {}, \"queries\": {}, \"ingest_mops\": {:.3}, \"p50_query_ms\": {:.4}, \"p99_query_ms\": {:.4}, \"max_staleness_items\": {}, \"max_staleness_ms\": {:.4}}}{}\n",
+                p.qps,
+                p.queries,
+                p.ingest_mops,
+                p.p50_query_ms,
+                p.p99_query_ms,
+                p.max_staleness_items,
+                p.max_staleness_ms,
+                if i + 1 == points.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("failed to write perf snapshot {path}: {e}"));
+        eprintln!("wrote perf snapshot to {path}");
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod builders;
 pub mod harness;
+pub mod json;
 
 pub use builders::*;
 pub use harness::*;

@@ -43,6 +43,7 @@ const BINARIES: &[(&str, &str)] = &[
         "fig_pipeline_scaling",
         env!("CARGO_BIN_EXE_fig_pipeline_scaling"),
     ),
+    ("fig_live_query", env!("CARGO_BIN_EXE_fig_live_query")),
 ];
 
 #[test]

@@ -51,6 +51,18 @@ pub trait Row {
     /// unmerged slots.
     fn estimated_zero_base_slots(&self) -> f64;
 
+    /// Bytes that must be copied to clone this row for a point-in-time
+    /// snapshot (the live-query path clones every row of a shard's sketch
+    /// on demand).
+    ///
+    /// Defaults to [`Row::size_bytes`]: a row's clone copies exactly its
+    /// counter storage plus its merge-encoding metadata.  Row types that
+    /// carry extra transient state (scratch buffers, caches) override this
+    /// to account for it, so snapshot budgeting stays honest.
+    fn clone_cost_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+
     /// Resets every counter to zero without deallocating.
     fn reset(&mut self);
 }
@@ -68,6 +80,13 @@ pub trait SignedRow {
 
     /// Memory consumed by the row in bytes, including encoding overhead.
     fn size_bytes(&self) -> usize;
+
+    /// Bytes that must be copied to clone this row for a point-in-time
+    /// snapshot; defaults to [`SignedRow::size_bytes`] (see
+    /// [`Row::clone_cost_bytes`]).
+    fn clone_cost_bytes(&self) -> usize {
+        self.size_bytes()
+    }
 
     /// Resets every counter to zero without deallocating.
     fn reset(&mut self);
@@ -130,6 +149,21 @@ mod tests {
             assert_eq!(a.read(i), b.read(i), "slot {i}");
             assert_eq!(a.level_of(i), b.level_of(i), "slot {i}");
         }
+    }
+
+    #[test]
+    fn clone_cost_defaults_to_size_bytes() {
+        // Snapshot budgeting: cloning a row copies its counters + encoding,
+        // which is exactly what size_bytes reports for every stock row.
+        let fixed = crate::fixed::FixedRow::new(128, 32);
+        assert_eq!(Row::clone_cost_bytes(&fixed), Row::size_bytes(&fixed));
+        let salsa = crate::row::SimpleSalsaRow::new(128, 8, MergeOp::Sum);
+        assert_eq!(Row::clone_cost_bytes(&salsa), Row::size_bytes(&salsa));
+        let signed = crate::fixed::FixedSignedRow::new(128, 32);
+        assert_eq!(
+            SignedRow::clone_cost_bytes(&signed),
+            SignedRow::size_bytes(&signed)
+        );
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Query-latency and snapshot-staleness tracking for the live-query path.
+//!
+//! The live pipeline serves estimates while the stream is still flowing, so
+//! two serving metrics matter alongside ingest throughput: how long a query
+//! takes ([`LatencySeries`]: p50/p99/max over recorded samples) and how far
+//! behind the live stream the answer is ([`StalenessTracker`]: the epoch
+//! lag in items and the view age in seconds).  Runtime-adaptive stream
+//! processors treat exactly these as first-class signals.
+
+use std::time::Duration;
+
+/// A series of latency samples with simple order-statistics queries.
+///
+/// Samples are stored in seconds; quantiles use the nearest-rank method on
+/// a sorted copy, so `p99` of a small series is its maximum — conservative,
+/// which is the right bias for a regression gate.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySeries {
+    samples_secs: Vec<f64>,
+}
+
+impl LatencySeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_secs(latency.as_secs_f64());
+    }
+
+    /// Records one latency sample, in seconds.
+    pub fn record_secs(&mut self, secs: f64) {
+        self.samples_secs.push(secs);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples_secs.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_secs.is_empty()
+    }
+
+    /// The `q`-quantile (nearest-rank, `0.0 ≤ q ≤ 1.0`) in seconds; `0.0`
+    /// for an empty series.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        if self.samples_secs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_secs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    /// Median latency in seconds.
+    pub fn p50_secs(&self) -> f64 {
+        self.quantile_secs(0.50)
+    }
+
+    /// 99th-percentile latency in seconds.
+    pub fn p99_secs(&self) -> f64 {
+        self.quantile_secs(0.99)
+    }
+
+    /// Largest recorded latency in seconds; `0.0` for an empty series.
+    pub fn max_secs(&self) -> f64 {
+        self.samples_secs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean latency in seconds; `0.0` for an empty series.
+    pub fn mean_secs(&self) -> f64 {
+        if self.samples_secs.is_empty() {
+            return 0.0;
+        }
+        self.samples_secs.iter().sum::<f64>() / self.samples_secs.len() as f64
+    }
+}
+
+/// Tracks how stale served snapshots are, in both items (epoch lag: updates
+/// acknowledged by the pipeline but missing from the view) and seconds
+/// (view age when it was used).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StalenessTracker {
+    observations: u64,
+    max_lag_items: u64,
+    max_age_secs: f64,
+}
+
+impl StalenessTracker {
+    /// A tracker with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served view: its epoch lag in items and its age.
+    pub fn record(&mut self, lag_items: u64, age: Duration) {
+        self.observations += 1;
+        self.max_lag_items = self.max_lag_items.max(lag_items);
+        self.max_age_secs = self.max_age_secs.max(age.as_secs_f64());
+    }
+
+    /// Number of recorded observations.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Worst observed epoch lag, in items.
+    pub fn max_lag_items(&self) -> u64 {
+        self.max_lag_items
+    }
+
+    /// Worst observed view age, in seconds.
+    pub fn max_age_secs(&self) -> f64 {
+        self.max_age_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let mut series = LatencySeries::new();
+        for ms in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            series.record_secs(ms / 1e3);
+        }
+        assert_eq!(series.len(), 5);
+        assert!((series.p50_secs() - 0.003).abs() < 1e-12);
+        assert!((series.p99_secs() - 0.005).abs() < 1e-12);
+        assert!((series.max_secs() - 0.005).abs() < 1e-12);
+        assert!((series.mean_secs() - 0.003).abs() < 1e-12);
+        assert!((series.quantile_secs(0.0) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_reports_zeros() {
+        let series = LatencySeries::new();
+        assert!(series.is_empty());
+        assert_eq!(series.p50_secs(), 0.0);
+        assert_eq!(series.p99_secs(), 0.0);
+        assert_eq!(series.max_secs(), 0.0);
+        assert_eq!(series.mean_secs(), 0.0);
+    }
+
+    #[test]
+    fn p99_of_small_series_is_the_maximum() {
+        let mut series = LatencySeries::new();
+        series.record(Duration::from_millis(1));
+        series.record(Duration::from_millis(9));
+        assert!((series.p99_secs() - 0.009).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staleness_tracks_maxima() {
+        let mut tracker = StalenessTracker::new();
+        tracker.record(100, Duration::from_millis(2));
+        tracker.record(40, Duration::from_millis(7));
+        tracker.record(260, Duration::from_millis(1));
+        assert_eq!(tracker.observations(), 3);
+        assert_eq!(tracker.max_lag_items(), 260);
+        assert!((tracker.max_age_secs() - 0.007).abs() < 1e-12);
+    }
+}

@@ -14,18 +14,24 @@
 //! * exact ground-truth statistics ([`ground_truth::GroundTruth`]);
 //! * mean / 95 % Student-t confidence intervals over trials
 //!   ([`stats::Summary`]);
-//! * throughput measurement ([`throughput::Throughput`]).
+//! * throughput measurement ([`throughput::Throughput`]);
+//! * live-query serving metrics — query-latency quantiles
+//!   ([`latency::LatencySeries`]) and snapshot staleness
+//!   ([`latency::StalenessTracker`]) — for the concurrent snapshot/query
+//!   path of `salsa-pipeline`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod ground_truth;
+pub mod latency;
 pub mod stats;
 pub mod throughput;
 
 pub use error::{average_errors, relative_error, AverageErrors, OnArrivalError};
 pub use ground_truth::GroundTruth;
+pub use latency::{LatencySeries, StalenessTracker};
 pub use stats::Summary;
 pub use throughput::{mops_for, Throughput};
 

@@ -24,6 +24,12 @@
 //!   [`salsa_core::merge::RowMerge`].  Sum-merge rows again reproduce the
 //!   unsharded sketch exactly; max-merge rows give a never-underestimating
 //!   over-approximation (Theorem V.2).
+//! * The pipeline serves queries **while the stream is still flowing**:
+//!   [`ShardedPipeline::snapshot`] assembles an epoch-stamped
+//!   [`SnapshotView`] by merging per-shard sketch clones, and
+//!   [`ShardedPipeline::live_handle`] hands out clonable [`LiveHandle`]s
+//!   that snapshot and query from other threads without stopping the
+//!   workers (a [`SnapshotableSketch`] clone per shard is the entire cost).
 //!
 //! ```
 //! use salsa_pipeline::{run_sharded, PipelineConfig};
@@ -40,11 +46,33 @@
 //! }
 //! assert_eq!(out.merged.estimate(42), single.estimate(42));
 //! ```
+//!
+//! Querying mid-stream, without stopping ingestion:
+//!
+//! ```
+//! use salsa_pipeline::{PipelineConfig, ShardedPipeline};
+//! use salsa_sketches::prelude::*;
+//!
+//! let make = |_shard: usize| CountMin::salsa(4, 1024, 8, MergeOp::Sum, 7);
+//! let mut pipeline = ShardedPipeline::new(&PipelineConfig::new(2), make);
+//! pipeline.extend(&(0..5_000u64).map(|i| i % 100).collect::<Vec<_>>());
+//!
+//! let view = pipeline.snapshot(); // consistent, epoch-stamped, non-blocking
+//! assert_eq!(view.epoch(), 5_000);
+//! assert_eq!(view.estimate(42), 50);
+//! assert_eq!(view.top_k(3, 0..100).len(), 3);
+//!
+//! pipeline.extend(&[42, 42]); // ingestion never stopped
+//! let out = pipeline.finish();
+//! assert_eq!(out.merged.estimate(42), 52);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod live;
 pub mod sharded;
+pub mod snapshot;
 
 use salsa_core::merge::RowMerge;
 use salsa_core::traits::{Row, SignedRow};
@@ -53,7 +81,9 @@ use salsa_sketches::cs::CountSketch;
 use salsa_sketches::cus::ConservativeUpdate;
 use salsa_sketches::estimator::FrequencyEstimator;
 
+pub use live::LiveHandle;
 pub use sharded::{run_sharded, PipelineOutput, ShardStats, ShardedPipeline};
+pub use snapshot::SnapshotView;
 
 /// Default seed of the router hash.  It is fixed (and distinct from typical
 /// sketch seeds) so that routing is independent of the row hash functions:
@@ -102,6 +132,57 @@ where
 {
     fn merge_from(&mut self, other: &Self) {
         CountSketch::merge_from(self, other);
+    }
+}
+
+/// A [`MergeableSketch`] that can additionally serve live queries: cloning
+/// it is cheap and bounded (a flat copy of its counter storage), so a shard
+/// worker can produce a point-in-time copy on demand without stalling
+/// ingestion for longer than one memcpy.
+///
+/// This is the contract behind [`ShardedPipeline::snapshot`] and
+/// [`LiveHandle`]: snapshots are assembled by cloning each shard's sketch
+/// and folding the clones counter-wise, leaving the live sketches untouched.
+pub trait SnapshotableSketch: MergeableSketch + Clone {
+    /// Bytes copied per clone — the cost one snapshot imposes on each
+    /// shard.  Implementations report their counter storage plus encoding
+    /// metadata (see `Row::clone_cost_bytes` in `salsa-core`).
+    fn clone_cost_bytes(&self) -> usize;
+
+    /// Counter-wise merges two sketches into a *new* one, leaving both
+    /// operands untouched — the snapshot-assembly primitive.  Same
+    /// seed/shape contract as [`MergeableSketch::merge_from`].
+    fn merge_into_new(&self, other: &Self) -> Self {
+        let mut merged = self.clone();
+        merged.merge_from(other);
+        merged
+    }
+}
+
+impl<R> SnapshotableSketch for CountMin<R>
+where
+    R: Row + RowMerge + Clone + Send + 'static,
+{
+    fn clone_cost_bytes(&self) -> usize {
+        CountMin::clone_cost_bytes(self)
+    }
+}
+
+impl<R> SnapshotableSketch for ConservativeUpdate<R>
+where
+    R: Row + RowMerge + Clone + Send + 'static,
+{
+    fn clone_cost_bytes(&self) -> usize {
+        ConservativeUpdate::clone_cost_bytes(self)
+    }
+}
+
+impl<S> SnapshotableSketch for CountSketch<S>
+where
+    S: SignedRow + RowMerge + Clone + Send + 'static,
+{
+    fn clone_cost_bytes(&self) -> usize {
+        CountSketch::clone_cost_bytes(self)
     }
 }
 
@@ -161,8 +242,12 @@ impl PipelineConfig {
     }
 
     /// Returns the configuration with a different batch size.
+    ///
+    /// A batch size of `0` is clamped to `1` (every push becomes its own
+    /// batch): it used to configure a pipeline whose buffers could never
+    /// reach their dispatch threshold.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
-        self.batch_size = batch_size;
+        self.batch_size = batch_size.max(1);
         self
     }
 

@@ -1,0 +1,168 @@
+//! Concurrent query access to a running pipeline.
+//!
+//! A [`LiveHandle`] is a clonable, `Send` handle that injects
+//! `Command::Snapshot` requests into the shard workers' command channels.  Because each channel is FIFO, a snapshot
+//! observes exactly the batches queued before it on every shard — a
+//! consistent per-shard prefix of the acknowledged stream — and successive
+//! snapshots through one handle have monotonically non-decreasing epochs.
+//! The workers never stop ingesting: serving a snapshot costs one sketch
+//! clone per shard, accounted in
+//! [`ShardStats::snapshot_secs`](crate::ShardStats::snapshot_secs) and
+//! bounded by [`SnapshotableSketch::clone_cost_bytes`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use salsa_hash::BobHash;
+
+use crate::sharded::Command;
+use crate::snapshot::SnapshotView;
+use crate::{Partition, SnapshotableSketch};
+
+/// A clonable handle for querying a [`ShardedPipeline`] from other threads
+/// while ingestion continues.
+///
+/// Obtain one with [`ShardedPipeline::live_handle`].  Every query returns
+/// `None` once [`ShardedPipeline::finish`] has shut the workers down, so a
+/// query thread can simply loop until its handle goes dark.
+///
+/// [`ShardedPipeline`]: crate::ShardedPipeline
+/// [`ShardedPipeline::live_handle`]: crate::ShardedPipeline::live_handle
+/// [`ShardedPipeline::finish`]: crate::ShardedPipeline::finish
+pub struct LiveHandle<S: SnapshotableSketch> {
+    senders: Vec<SyncSender<Command<S>>>,
+    acked: Vec<Arc<AtomicU64>>,
+    partition: Partition,
+    router: BobHash,
+}
+
+impl<S: SnapshotableSketch> Clone for LiveHandle<S> {
+    fn clone(&self) -> Self {
+        Self {
+            senders: self.senders.clone(),
+            acked: self.acked.clone(),
+            partition: self.partition,
+            router: self.router,
+        }
+    }
+}
+
+impl<S: SnapshotableSketch> LiveHandle<S> {
+    pub(crate) fn new(
+        senders: Vec<SyncSender<Command<S>>>,
+        acked: Vec<Arc<AtomicU64>>,
+        partition: Partition,
+        router: BobHash,
+    ) -> Self {
+        Self {
+            senders,
+            acked,
+            partition,
+            router,
+        }
+    }
+
+    /// Number of worker shards behind this handle.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The pipeline's partitioning mode.
+    #[inline]
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Total updates acknowledged (applied by workers) so far, across all
+    /// shards.  Comparing this against a view's [`SnapshotView::epoch`]
+    /// gives the view's staleness in items.
+    pub fn acknowledged(&self) -> u64 {
+        self.acked.iter().map(|a| a.load(Ordering::Acquire)).sum()
+    }
+
+    /// The shard that owns `item`'s entire sub-stream, if the partitioning
+    /// mode gives keys an owner (`None` under [`Partition::RoundRobin`],
+    /// where every shard sees an arbitrary slice).
+    pub fn owner_of(&self, item: u64) -> Option<usize> {
+        match self.partition {
+            Partition::ByKey => {
+                Some((self.router.hash_u64(item) % self.senders.len() as u64) as usize)
+            }
+            Partition::RoundRobin => None,
+        }
+    }
+
+    /// Takes a consistent snapshot of every shard and merges the clones
+    /// into one epoch-stamped [`SnapshotView`], without stopping ingestion.
+    ///
+    /// The epoch is the sum of the per-shard prefixes the view reflects;
+    /// successive calls through one handle see non-decreasing epochs.
+    /// Returns `None` once the pipeline has been finished.
+    pub fn snapshot(&self) -> Option<SnapshotView<S>> {
+        let issued = Instant::now();
+        // Request every shard before collecting any reply, so the per-shard
+        // prefixes are taken as close together in time as the channels allow.
+        let replies: Vec<_> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = sync_channel(1);
+                tx.send(Command::Snapshot(reply_tx)).ok().map(|_| reply_rx)
+            })
+            .collect::<Option<_>>()?;
+        let mut epoch = 0;
+        let mut shards = Vec::with_capacity(replies.len());
+        let mut merged: Option<S> = None;
+        for reply in replies {
+            // A recv error means the worker stopped between our send and its
+            // reply (the pipeline is finishing): the snapshot is torn, give up.
+            let shard = reply.recv().ok()?;
+            epoch += shard.stats.items;
+            shards.push(shard.stats);
+            match merged.as_mut() {
+                None => merged = Some(shard.sketch),
+                Some(m) => m.merge_from(&shard.sketch),
+            }
+        }
+        Some(SnapshotView::new(merged?, epoch, shards, issued))
+    }
+
+    /// Takes a snapshot of a single shard.  The view's epoch is
+    /// shard-local (that shard's acknowledged items).
+    ///
+    /// Under [`Partition::ByKey`] the owning shard holds a key's *entire*
+    /// sub-stream, so for sum-merge rows a single-shard view never
+    /// under-estimates that key and is at most the full merged view's
+    /// estimate (it sees only same-shard hash collisions, not the other
+    /// shards') — a point-query fast path at a fraction of the clone cost.
+    pub fn snapshot_shard(&self, shard: usize) -> Option<SnapshotView<S>> {
+        let issued = Instant::now();
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.senders
+            .get(shard)?
+            .send(Command::Snapshot(reply_tx))
+            .ok()?;
+        let reply = reply_rx.recv().ok()?;
+        Some(SnapshotView::new(
+            reply.sketch,
+            reply.stats.items,
+            vec![reply.stats],
+            issued,
+        ))
+    }
+
+    /// Estimates the frequency of `item` against fresh shard state.
+    ///
+    /// Under [`Partition::ByKey`] this snapshots only the owning shard;
+    /// under [`Partition::RoundRobin`] it falls back to a full merged
+    /// snapshot.  Returns `None` once the pipeline has been finished.
+    pub fn estimate(&self, item: u64) -> Option<i64> {
+        match self.owner_of(item) {
+            Some(shard) => Some(self.snapshot_shard(shard)?.estimate(item)),
+            None => Some(self.snapshot()?.estimate(item)),
+        }
+    }
+}

@@ -1,52 +1,94 @@
-//! The sharded ingestion pipeline: worker threads, batching, and the merged
-//! global view.
+//! The sharded ingestion pipeline: worker threads, batching, snapshots, and
+//! the merged global view.
 //!
 //! One `std::thread` per shard owns that shard's sketch for the pipeline's
 //! whole lifetime — sketches are never shared or locked, so the hot path has
-//! no synchronization beyond the bounded batch channel.  [`ShardedPipeline`]
-//! buffers incoming items into per-shard batches, workers drain batches
-//! through [`FrequencyEstimator::batch_update`], and
-//! [`ShardedPipeline::finish`] joins the workers and folds their sketches
-//! into one [`PipelineOutput`] via [`MergeableSketch::merge_from`].
+//! no synchronization beyond the bounded command channel.  Each worker drains
+//! a stream of commands:
+//!
+//! * `Ingest(batch)` — apply a batch through
+//!   [`FrequencyEstimator::batch_update`] (the hot path);
+//! * `Snapshot(reply)` — clone the shard's sketch *as of every previously
+//!   queued batch* and send it back, so queries can run against a consistent
+//!   point-in-time copy while ingestion continues;
+//! * `Drain(ack)` — acknowledge once all previously queued batches have been
+//!   applied (a per-shard barrier);
+//! * `Stop` — hand the final sketch back for the merged
+//!   [`PipelineOutput`].
+//!
+//! Because the channel is FIFO, a snapshot command enqueued after `k` ingest
+//! commands observes exactly those `k` batches — that per-shard prefix
+//! property is what makes [`ShardedPipeline::snapshot`] (which flushes first)
+//! land on a well-defined global epoch, and what keeps concurrent
+//! [`LiveHandle`] snapshot epochs monotone.
 //!
 //! [`FrequencyEstimator::batch_update`]: salsa_sketches::estimator::FrequencyEstimator::batch_update
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use salsa_hash::BobHash;
 
-use crate::{MergeableSketch, Partition, PipelineConfig};
+use crate::live::LiveHandle;
+use crate::snapshot::SnapshotView;
+use crate::{Partition, PipelineConfig, SnapshotableSketch};
 
-/// How many batches may queue per worker before `push` applies
-/// backpressure.  Small on purpose: it bounds memory and keeps producers
-/// from racing arbitrarily far ahead of slow shards.
+/// How many commands may queue per worker before `push` applies
+/// backpressure.  Small on purpose: it bounds memory, keeps producers from
+/// racing arbitrarily far ahead of slow shards, and bounds how stale a
+/// freshly assembled snapshot can be (at most this many batches per shard).
 const CHANNEL_DEPTH: usize = 4;
 
-/// What a worker thread hands back when its channel closes.
+/// What the producer and live handles send to a shard worker.
+pub(crate) enum Command<S> {
+    /// Apply a batch of items to the shard's sketch.
+    Ingest(Vec<u64>),
+    /// Clone the shard's sketch (reflecting every previously queued batch)
+    /// and reply with it plus the shard's statistics.
+    Snapshot(SyncSender<ShardSnapshot<S>>),
+    /// Acknowledge once every previously queued batch has been applied.
+    Drain(SyncSender<()>),
+    /// Shut down and hand the final sketch back through the join handle.
+    Stop,
+}
+
+/// A worker's reply to [`Command::Snapshot`]: the cloned sketch plus the
+/// shard statistics at the moment of the clone.
+pub(crate) struct ShardSnapshot<S> {
+    pub(crate) sketch: S,
+    pub(crate) stats: ShardStats,
+}
+
+/// What a worker thread hands back when it stops.
 struct WorkerReport<S> {
     sketch: S,
-    busy_secs: f64,
-    items: u64,
-    batches: u64,
+    stats: ShardStats,
 }
 
 struct Worker<S> {
-    tx: SyncSender<Vec<u64>>,
+    tx: SyncSender<Command<S>>,
     handle: JoinHandle<WorkerReport<S>>,
 }
 
-/// Per-shard ingestion statistics, reported by [`ShardedPipeline::finish`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Per-shard ingestion statistics, reported by [`ShardedPipeline::finish`]
+/// and carried by every [`SnapshotView`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ShardStats {
-    /// Items this shard processed.
+    /// Items this shard has applied.
     pub items: u64,
-    /// Batches this shard processed.
+    /// Batches this shard has applied.
     pub batches: u64,
     /// Wall-clock seconds the shard spent inside `batch_update` (excludes
     /// time blocked on the channel).
     pub busy_secs: f64,
+    /// Snapshot clones this shard has served.
+    pub snapshots: u64,
+    /// Wall-clock seconds the shard spent cloning its sketch for snapshots
+    /// — the ingestion time stolen by the query path.
+    pub snapshot_secs: f64,
 }
 
 /// The result of a finished pipeline run: the merged global sketch plus
@@ -77,23 +119,26 @@ impl<S> PipelineOutput<S> {
     }
 }
 
-/// A sharded, batched ingestion pipeline over any [`MergeableSketch`].
+/// A sharded, batched ingestion pipeline over any [`SnapshotableSketch`].
 ///
 /// Build one with [`ShardedPipeline::new`], feed it with
-/// [`ShardedPipeline::push`] / [`ShardedPipeline::extend`], and call
-/// [`ShardedPipeline::finish`] to obtain the merged global view.  See the
-/// crate docs for the partitioning modes and their exactness guarantees.
-pub struct ShardedPipeline<S: MergeableSketch> {
+/// [`ShardedPipeline::push`] / [`ShardedPipeline::extend`], query it *while
+/// it runs* via [`ShardedPipeline::snapshot`] or a cloned-off
+/// [`ShardedPipeline::live_handle`], and call [`ShardedPipeline::finish`]
+/// to obtain the merged global view.  See the crate docs for the
+/// partitioning modes and their exactness guarantees.
+pub struct ShardedPipeline<S: SnapshotableSketch> {
     partition: Partition,
     batch_size: usize,
     router: BobHash,
     buffers: Vec<Vec<u64>>,
     workers: Vec<Worker<S>>,
+    acked: Vec<Arc<AtomicU64>>,
     next_shard: usize,
     pushed: u64,
 }
 
-impl<S: MergeableSketch> ShardedPipeline<S> {
+impl<S: SnapshotableSketch> ShardedPipeline<S> {
     /// Creates the pipeline and spawns one worker thread per shard.
     ///
     /// `factory` is called once per shard (with the shard index) to build
@@ -105,32 +150,55 @@ impl<S: MergeableSketch> ShardedPipeline<S> {
     /// # Panics
     ///
     /// Panics if `config.shards == 0` or `config.batch_size == 0`.
+    ///
+    /// [`MergeableSketch::merge_from`]: crate::MergeableSketch::merge_from
     pub fn new(config: &PipelineConfig, mut factory: impl FnMut(usize) -> S) -> Self {
         assert!(config.shards > 0, "a pipeline needs at least one shard");
         assert!(config.batch_size > 0, "batch size must be positive");
+        let mut acked = Vec::with_capacity(config.shards);
         let workers = (0..config.shards)
             .map(|shard| {
-                let (tx, rx) = sync_channel::<Vec<u64>>(CHANNEL_DEPTH);
+                let (tx, rx) = sync_channel::<Command<S>>(CHANNEL_DEPTH);
                 let mut sketch = factory(shard);
+                let shard_acked = Arc::new(AtomicU64::new(0));
+                acked.push(Arc::clone(&shard_acked));
                 let handle = std::thread::Builder::new()
                     .name(format!("salsa-shard-{shard}"))
                     .spawn(move || {
-                        let mut busy_secs = 0.0;
-                        let mut items = 0u64;
-                        let mut batches = 0u64;
-                        while let Ok(batch) = rx.recv() {
-                            let start = Instant::now();
-                            sketch.batch_update(&batch);
-                            busy_secs += start.elapsed().as_secs_f64();
-                            items += batch.len() as u64;
-                            batches += 1;
+                        let mut stats = ShardStats::default();
+                        while let Ok(command) = rx.recv() {
+                            match command {
+                                Command::Ingest(batch) => {
+                                    let start = Instant::now();
+                                    sketch.batch_update(&batch);
+                                    stats.busy_secs += start.elapsed().as_secs_f64();
+                                    stats.items += batch.len() as u64;
+                                    stats.batches += 1;
+                                    // Publish progress once per batch so live
+                                    // handles can measure snapshot staleness
+                                    // without touching the hot path per item.
+                                    shard_acked.store(stats.items, Ordering::Release);
+                                }
+                                Command::Snapshot(reply) => {
+                                    let start = Instant::now();
+                                    let clone = sketch.clone();
+                                    stats.snapshot_secs += start.elapsed().as_secs_f64();
+                                    stats.snapshots += 1;
+                                    // The requester may have given up (its
+                                    // thread exited between send and recv);
+                                    // that is not the worker's problem.
+                                    let _ = reply.send(ShardSnapshot {
+                                        sketch: clone,
+                                        stats,
+                                    });
+                                }
+                                Command::Drain(ack) => {
+                                    let _ = ack.send(());
+                                }
+                                Command::Stop => break,
+                            }
                         }
-                        WorkerReport {
-                            sketch,
-                            busy_secs,
-                            items,
-                            batches,
-                        }
+                        WorkerReport { sketch, stats }
                     })
                     .expect("failed to spawn shard worker thread");
                 Worker { tx, handle }
@@ -142,6 +210,7 @@ impl<S: MergeableSketch> ShardedPipeline<S> {
             router: BobHash::new(config.router_seed),
             buffers: vec![Vec::with_capacity(config.batch_size); config.shards],
             workers,
+            acked,
             next_shard: 0,
             pushed: 0,
         }
@@ -208,43 +277,102 @@ impl<S: MergeableSketch> ShardedPipeline<S> {
     }
 
     fn dispatch(&self, shard: usize, batch: Vec<u64>) {
-        // Blocks when the worker is CHANNEL_DEPTH batches behind
+        // Blocks when the worker is CHANNEL_DEPTH commands behind
         // (backpressure); only errors if the worker died, which would
         // surface as a panic on join anyway.
         self.workers[shard]
             .tx
-            .send(batch)
+            .send(Command::Ingest(batch))
             .expect("shard worker disappeared while the pipeline was running");
+    }
+
+    /// Returns a clonable, `Send` handle that can snapshot and query this
+    /// pipeline from other threads while ingestion continues.
+    ///
+    /// Handles stay valid until [`ShardedPipeline::finish`] shuts the
+    /// workers down, after which their queries return `None`.
+    pub fn live_handle(&self) -> LiveHandle<S> {
+        LiveHandle::new(
+            self.workers.iter().map(|w| w.tx.clone()).collect(),
+            self.acked.clone(),
+            self.partition,
+            self.router,
+        )
+    }
+
+    /// Takes a consistent point-in-time snapshot of the whole pipeline
+    /// *without stopping it*: flushes the producer-side buffers, then merges
+    /// a clone of every shard's sketch.
+    ///
+    /// Because flushing dispatches everything pushed so far and each shard's
+    /// channel is FIFO, the returned view sits at **epoch
+    /// [`ShardedPipeline::pushed`]**: for sum-merge rows its estimates are
+    /// identical to an unsharded sketch over exactly the items pushed so
+    /// far.  Ingestion resumes (or rather, never stopped) after the call.
+    pub fn snapshot(&mut self) -> SnapshotView<S> {
+        self.flush();
+        self.live_handle()
+            .snapshot()
+            .expect("workers are alive while the pipeline exists")
+    }
+
+    /// Blocks until every item pushed so far has been applied by its worker
+    /// (a full-pipeline barrier), and returns that epoch.
+    ///
+    /// After `drain`, [`LiveHandle::acknowledged`] equals
+    /// [`ShardedPipeline::pushed`] until the next push.
+    pub fn drain(&mut self) -> u64 {
+        self.flush();
+        let acks: Vec<_> = self
+            .workers
+            .iter()
+            .map(|worker| {
+                let (tx, rx) = sync_channel(1);
+                worker
+                    .tx
+                    .send(Command::Drain(tx))
+                    .expect("shard worker disappeared while the pipeline was running");
+                rx
+            })
+            .collect();
+        for ack in acks {
+            ack.recv()
+                .expect("shard worker dropped a drain barrier without acknowledging it");
+        }
+        self.pushed
     }
 
     /// Flushes remaining buffers, shuts the workers down, and merges every
     /// shard's sketch into the global view.
+    ///
+    /// Outstanding [`LiveHandle`]s remain safe to use: their queries return
+    /// `None` once the workers have stopped.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panicked, or if the shard sketches were
     /// built with mismatched seeds/shapes (see
     /// [`MergeableSketch::merge_from`]).
+    ///
+    /// [`MergeableSketch::merge_from`]: crate::MergeableSketch::merge_from
     pub fn finish(mut self) -> PipelineOutput<S> {
         self.flush();
         let mut reports: Vec<WorkerReport<S>> = self
             .workers
             .drain(..)
             .map(|worker| {
-                // Dropping the sender closes the channel; the worker drains
-                // queued batches and returns its report.
+                // An explicit stop (rather than relying on channel closure)
+                // lets outstanding live handles keep their senders: their
+                // next send simply fails once the worker has exited.
+                worker
+                    .tx
+                    .send(Command::Stop)
+                    .expect("shard worker disappeared while the pipeline was running");
                 drop(worker.tx);
                 worker.handle.join().expect("shard worker thread panicked")
             })
             .collect();
-        let shards: Vec<ShardStats> = reports
-            .iter()
-            .map(|r| ShardStats {
-                items: r.items,
-                batches: r.batches,
-                busy_secs: r.busy_secs,
-            })
-            .collect();
+        let shards: Vec<ShardStats> = reports.iter().map(|r| r.stats).collect();
         let mut merged = reports.remove(0).sketch;
         for report in &reports {
             merged.merge_from(&report.sketch);
@@ -259,7 +387,7 @@ impl<S: MergeableSketch> ShardedPipeline<S> {
 
 /// Convenience: builds a pipeline for `config`, streams `items` through it,
 /// and finishes it — the one-call form used by benches and examples.
-pub fn run_sharded<S: MergeableSketch>(
+pub fn run_sharded<S: SnapshotableSketch>(
     config: &PipelineConfig,
     factory: impl FnMut(usize) -> S,
     items: &[u64],
@@ -289,7 +417,7 @@ mod tests {
             .collect()
     }
 
-    fn unsharded<S: MergeableSketch>(mut sketch: S, items: &[u64]) -> S {
+    fn unsharded<S: SnapshotableSketch>(mut sketch: S, items: &[u64]) -> S {
         for chunk in items.chunks(PipelineConfig::DEFAULT_BATCH_SIZE) {
             sketch.batch_update(chunk);
         }
@@ -415,6 +543,7 @@ mod tests {
             assert_eq!(stats.items, 2_500);
             assert!(stats.batches >= 2_500 / 128);
             assert!(stats.busy_secs >= 0.0);
+            assert_eq!(stats.snapshots, 0);
         }
         assert!(out.critical_path_secs() <= out.total_busy_secs());
     }
@@ -428,6 +557,69 @@ mod tests {
         for item in 0..200u64 {
             assert_eq!(out.merged.estimate(item), single.estimate(item));
         }
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped_to_one() {
+        // `with_batch_size(0)` used to configure a pipeline that could never
+        // dispatch a batch; the builder now clamps to 1 (every push becomes
+        // its own batch) and the pipeline behaves like batch_size == 1.
+        let config = PipelineConfig::new(2).with_batch_size(0);
+        assert_eq!(config.batch_size, 1);
+        let items = zipfish_stream(2_000, 100, 41);
+        let make = |_: usize| CountMin::salsa(2, 128, 8, MergeOp::Sum, 43);
+        let out = run_sharded(&config, make, &items);
+        let single = unsharded(make(0), &items);
+        assert_eq!(out.items, items.len() as u64);
+        for item in 0..100u64 {
+            assert_eq!(out.merged.estimate(item), single.estimate(item));
+        }
+    }
+
+    #[test]
+    fn snapshot_mid_stream_sits_at_the_flushed_epoch() {
+        let items = zipfish_stream(20_000, 500, 47);
+        let make = |_: usize| CountMin::salsa(3, 512, 8, MergeOp::Sum, 53);
+        for partition in [Partition::ByKey, Partition::RoundRobin] {
+            let config = PipelineConfig::new(3)
+                .with_partition(partition)
+                .with_batch_size(64);
+            let mut pipeline = ShardedPipeline::new(&config, make);
+            pipeline.extend(&items[..12_345]);
+            let view = pipeline.snapshot();
+            assert_eq!(view.epoch(), 12_345, "{}", partition.name());
+            let prefix = unsharded(make(0), &items[..12_345]);
+            for item in 0..500u64 {
+                assert_eq!(
+                    view.estimate(item),
+                    prefix.estimate(item) as i64,
+                    "{} item {item}",
+                    partition.name()
+                );
+            }
+            // The snapshot must not perturb the final state.
+            pipeline.extend(&items[12_345..]);
+            let out = pipeline.finish();
+            let single = unsharded(make(0), &items);
+            for item in 0..500u64 {
+                assert_eq!(out.merged.estimate(item), single.estimate(item));
+            }
+            assert_eq!(out.shards.iter().map(|s| s.snapshots).sum::<u64>(), 3);
+        }
+    }
+
+    #[test]
+    fn drain_acknowledges_everything_pushed() {
+        let items = zipfish_stream(8_000, 300, 59);
+        let config = PipelineConfig::new(4).with_batch_size(32);
+        let mut pipeline =
+            ShardedPipeline::new(&config, |_| CountMin::salsa(2, 256, 8, MergeOp::Sum, 61));
+        let handle = pipeline.live_handle();
+        pipeline.extend(&items);
+        let epoch = pipeline.drain();
+        assert_eq!(epoch, items.len() as u64);
+        assert_eq!(handle.acknowledged(), items.len() as u64);
+        pipeline.finish();
     }
 
     #[test]

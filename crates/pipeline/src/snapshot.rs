@@ -1,0 +1,108 @@
+//! Epoch-stamped, point-in-time views of a running pipeline.
+//!
+//! A [`SnapshotView`] is assembled by merging clones of the per-shard
+//! sketches (Section V: same-seed sketches combine counter-wise), so it can
+//! be queried freely — point estimates, top-k, per-shard stats — without
+//! holding any lock and without slowing the workers beyond the one-off
+//! clone.  The view is immutable: it represents the stream *as of its
+//! epoch* and only grows stale, never inconsistent.
+
+use std::time::{Duration, Instant};
+
+use salsa_sketches::estimator::FrequencyEstimator;
+use salsa_sketches::heavy_hitters::TopK;
+
+use crate::sharded::ShardStats;
+
+/// An immutable, epoch-stamped snapshot of the pipeline's merged state.
+///
+/// **Epoch semantics:** the epoch is the number of acknowledged updates the
+/// view reflects (the sum of the per-shard prefixes that were merged).  A
+/// view taken through [`ShardedPipeline::snapshot`] sits at epoch
+/// [`ShardedPipeline::pushed`]; for sum-merge rows its estimates then equal
+/// an unsharded sketch over exactly the first `epoch` pushed items.
+/// Successive snapshots taken through one [`LiveHandle`] have monotonically
+/// non-decreasing epochs.
+///
+/// [`ShardedPipeline::snapshot`]: crate::ShardedPipeline::snapshot
+/// [`ShardedPipeline::pushed`]: crate::ShardedPipeline::pushed
+/// [`LiveHandle`]: crate::LiveHandle
+#[derive(Debug)]
+pub struct SnapshotView<S> {
+    merged: S,
+    epoch: u64,
+    shards: Vec<ShardStats>,
+    issued: Instant,
+    assembled: Instant,
+}
+
+impl<S> SnapshotView<S> {
+    pub(crate) fn new(merged: S, epoch: u64, shards: Vec<ShardStats>, issued: Instant) -> Self {
+        Self {
+            merged,
+            epoch,
+            shards,
+            issued,
+            assembled: Instant::now(),
+        }
+    }
+
+    /// Number of acknowledged updates this view reflects.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Per-shard statistics at the moment each shard was cloned.
+    pub fn shards(&self) -> &[ShardStats] {
+        &self.shards
+    }
+
+    /// The merged sketch backing this view.
+    pub fn merged(&self) -> &S {
+        &self.merged
+    }
+
+    /// Consumes the view, returning the merged sketch.
+    pub fn into_merged(self) -> S {
+        self.merged
+    }
+
+    /// How long assembling the view took (clone + merge of every shard) —
+    /// the latency a synchronous snapshot query pays.
+    pub fn assembly_time(&self) -> Duration {
+        self.assembled.duration_since(self.issued)
+    }
+
+    /// How stale the view is *right now*: time elapsed since the snapshot
+    /// was requested.  Any update acknowledged within the last
+    /// `staleness()` may be missing from the view — this is the pipeline's
+    /// staleness model, and it grows monotonically while a view is held.
+    pub fn staleness(&self) -> Duration {
+        self.issued.elapsed()
+    }
+}
+
+impl<S: FrequencyEstimator> SnapshotView<S> {
+    /// Estimates the frequency of `item` as of this view's epoch.
+    #[inline]
+    pub fn estimate(&self, item: u64) -> i64 {
+        self.merged.estimate(item)
+    }
+
+    /// The `k` candidates with the largest estimates as of this view's
+    /// epoch, via [`TopK`].  Sketches cannot enumerate their keys, so the
+    /// caller supplies the candidate set (a key universe, a tracked
+    /// hot-set, …); negative estimates (possible under Count Sketch) are
+    /// treated as absent.
+    pub fn top_k(&self, k: usize, candidates: impl IntoIterator<Item = u64>) -> TopK {
+        let mut topk = TopK::new(k);
+        for item in candidates {
+            let estimate = self.estimate(item);
+            if estimate > 0 {
+                topk.offer(item, estimate as u64);
+            }
+        }
+        topk
+    }
+}

@@ -136,6 +136,17 @@ impl<R: Row> CountMin<R> {
     }
 }
 
+impl<R: Row + Clone> CountMin<R> {
+    /// Bytes copied when this sketch is cloned for a point-in-time snapshot:
+    /// every row's counter storage + encoding, plus the batch scratch buffer
+    /// (the hashers are a handful of seeds and are ignored).  The live-query
+    /// pipeline uses this to account for per-snapshot copy cost.
+    pub fn clone_cost_bytes(&self) -> usize {
+        self.rows.iter().map(Row::clone_cost_bytes).sum::<usize>()
+            + self.scratch.len() * std::mem::size_of::<usize>()
+    }
+}
+
 impl<R: Row + RowMerge> CountMin<R> {
     /// Absorbs another sketch built with the same seed and dimensions,
     /// producing the sketch of the union stream (`s(A ∪ B) = s(A) + s(B)`).
@@ -168,6 +179,20 @@ impl<R: Row + RowMerge> CountMin<R> {
         for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
             a.absorb(b);
         }
+    }
+
+    /// Counter-wise merges two sketches into a *new* one, leaving both
+    /// operands untouched: `merge_into_new(a, b) = s(A ∪ B)`.  Same
+    /// seed/shape contract as [`CountMin::merge_from`].  This is the
+    /// snapshot-assembly primitive of the live-query pipeline, which merges
+    /// per-shard sketch clones without mutating shard state.
+    pub fn merge_into_new(&self, other: &Self) -> Self
+    where
+        R: Clone,
+    {
+        let mut merged = self.clone();
+        merged.merge_from(other);
+        merged
     }
 
     /// Subtracts another sketch built with the same seed and dimensions.
@@ -459,6 +484,36 @@ mod tests {
         for item in 0u64..500 {
             assert_eq!(sa.estimate(item), concat.estimate(item), "item {item}");
         }
+    }
+
+    #[test]
+    fn merge_into_new_leaves_operands_untouched() {
+        let seed = 29;
+        let mut sa = CountMin::salsa(3, 128, 8, MergeOp::Sum, seed);
+        let mut sb = CountMin::salsa(3, 128, 8, MergeOp::Sum, seed);
+        for item in 0u64..200 {
+            sa.update(item, 2);
+            sb.update(item + 100, 3);
+        }
+        let before_a: Vec<u64> = (0..300).map(|i| sa.estimate(i)).collect();
+        let before_b: Vec<u64> = (0..300).map(|i| sb.estimate(i)).collect();
+        let merged = sa.merge_into_new(&sb);
+        let mut reference = sa.clone();
+        reference.merge_from(&sb);
+        for item in 0u64..300 {
+            assert_eq!(merged.estimate(item), reference.estimate(item));
+            assert_eq!(sa.estimate(item), before_a[item as usize]);
+            assert_eq!(sb.estimate(item), before_b[item as usize]);
+        }
+    }
+
+    #[test]
+    fn clone_cost_covers_counter_storage() {
+        let mut sketch = CountMin::salsa(4, 512, 8, MergeOp::Sum, 3);
+        assert!(sketch.clone_cost_bytes() >= sketch.size_bytes());
+        // After a batched update the scratch buffer is accounted for too.
+        sketch.update_batch(&[1, 2, 3, 4]);
+        assert!(sketch.clone_cost_bytes() >= sketch.size_bytes());
     }
 
     #[test]

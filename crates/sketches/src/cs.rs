@@ -127,6 +127,15 @@ impl<S: SignedRow> CountSketch<S> {
     }
 }
 
+impl<S: SignedRow + Clone> CountSketch<S> {
+    /// Bytes copied when this sketch is cloned for a point-in-time snapshot:
+    /// the rows' signed counter storage + encoding (the hash state is a
+    /// handful of seeds and is ignored).
+    pub fn clone_cost_bytes(&self) -> usize {
+        self.rows.iter().map(SignedRow::clone_cost_bytes).sum()
+    }
+}
+
 impl<S: SignedRow + RowMerge> CountSketch<S> {
     /// Absorbs another sketch built with the same seed and dimensions:
     /// `s(A ∪ B) = s(A) + s(B)`.
@@ -164,6 +173,17 @@ impl<S: SignedRow + RowMerge> CountSketch<S> {
         for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
             a.absorb(b);
         }
+    }
+
+    /// Counter-wise merges two sketches into a *new* one, leaving both
+    /// operands untouched (same contract as [`CountSketch::merge_from`]).
+    pub fn merge_into_new(&self, other: &Self) -> Self
+    where
+        S: Clone,
+    {
+        let mut merged = self.clone();
+        merged.merge_from(other);
+        merged
     }
 }
 

@@ -116,6 +116,18 @@ impl<R: Row> ConservativeUpdate<R> {
     }
 }
 
+impl<R: Row + Clone> ConservativeUpdate<R> {
+    /// Bytes copied when this sketch is cloned for a point-in-time snapshot:
+    /// the rows' counter storage + encoding plus the per-update bucket
+    /// scratch (see [`CountMin::clone_cost_bytes`]).
+    ///
+    /// [`CountMin::clone_cost_bytes`]: crate::cms::CountMin::clone_cost_bytes
+    pub fn clone_cost_bytes(&self) -> usize {
+        self.rows.iter().map(Row::clone_cost_bytes).sum::<usize>()
+            + self.buckets.len() * std::mem::size_of::<usize>()
+    }
+}
+
 impl<R: Row + RowMerge> ConservativeUpdate<R> {
     /// Counter-wise merges `other` into `self` (same seeds and shape
     /// enforced): every counter becomes the sum of the two operands'
@@ -139,6 +151,18 @@ impl<R: Row + RowMerge> ConservativeUpdate<R> {
         for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
             a.absorb(b);
         }
+    }
+
+    /// Counter-wise merges two sketches into a *new* one, leaving both
+    /// operands untouched (same contract and caveats as
+    /// [`ConservativeUpdate::merge_from`]).
+    pub fn merge_into_new(&self, other: &Self) -> Self
+    where
+        R: Clone,
+    {
+        let mut merged = self.clone();
+        merged.merge_from(other);
+        merged
     }
 }
 

@@ -10,7 +10,7 @@
 //! encodings) CMS.
 
 use salsa_core::prelude::*;
-use salsa_pipeline::{run_sharded, MergeableSketch, Partition, PipelineConfig};
+use salsa_pipeline::{run_sharded, Partition, PipelineConfig, SnapshotableSketch};
 use salsa_sketches::prelude::*;
 use salsa_workloads::TraceSpec;
 
@@ -29,7 +29,7 @@ fn trace() -> Vec<u64> {
 
 /// Feeds the whole stream to one sketch through the same batched hot path
 /// the pipeline workers use.
-fn unsharded<S: MergeableSketch>(mut sketch: S, items: &[u64]) -> S {
+fn unsharded<S: SnapshotableSketch>(mut sketch: S, items: &[u64]) -> S {
     for chunk in items.chunks(PipelineConfig::DEFAULT_BATCH_SIZE) {
         sketch.batch_update(chunk);
     }
@@ -38,7 +38,7 @@ fn unsharded<S: MergeableSketch>(mut sketch: S, items: &[u64]) -> S {
 
 fn assert_identical<S, F>(make: F, items: &[u64], partition: Partition, label: &str)
 where
-    S: MergeableSketch,
+    S: SnapshotableSketch,
     F: Fn(usize) -> S + Copy,
 {
     let single = unsharded(make(0), items);
