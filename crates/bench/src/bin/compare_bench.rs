@@ -15,9 +15,11 @@
 //! `fig_live_query` with `--json`: a `bench` name plus a `points` array.
 //! Every numeric field of every point becomes a metric named
 //! `{bench}/{labels}/{field}` (labels are the point's `partition` /
-//! `shards` / `qps` fields).  **Gated** metrics — `scaled_mops`
-//! (critical-path rate, insensitive to the runner's core *count*) and
-//! `ingest_mops` (wall-clock ingest rate under query load) — fail the run
+//! `shards` / `qps` / `mode` fields).  **Gated** metrics — `scaled_mops`
+//! (critical-path rate, insensitive to the runner's core *count*),
+//! `ingest_mops` (wall-clock ingest rate under query load) and
+//! `elastic_mops` (wall-clock ingest rate of the elastic pipeline,
+//! including its rescale pauses) — fail the run
 //! when they drop more than the threshold below the baseline; `wall_mops`
 //! and everything else is reported for information only.  All of these
 //! are absolute rates, so the committed baseline is tied to a hardware
@@ -36,11 +38,11 @@ use std::collections::BTreeMap;
 use salsa_bench::json::{escape, parse, Json};
 
 /// Fields that identify a point rather than measure it.
-const LABEL_FIELDS: &[&str] = &["partition", "shards", "qps"];
+const LABEL_FIELDS: &[&str] = &["partition", "shards", "qps", "mode"];
 
 /// Metrics whose regression fails the gate.  `wall_mops` is excluded on
 /// purpose: it scales with the runner's core count, not with the code.
-const GATED_SUFFIXES: &[&str] = &["scaled_mops", "ingest_mops"];
+const GATED_SUFFIXES: &[&str] = &["scaled_mops", "ingest_mops", "elastic_mops"];
 
 fn is_gated(metric: &str) -> bool {
     GATED_SUFFIXES.iter().any(|s| metric.ends_with(s))

@@ -47,22 +47,6 @@ struct Point {
     max_staleness_ms: f64,
 }
 
-/// Clamps a non-finite rate to 0.0 so the JSON snapshot stays parseable.
-fn finite(x: f64) -> f64 {
-    if x.is_finite() {
-        x
-    } else {
-        0.0
-    }
-}
-
-fn parse_json_path() -> Option<String> {
-    let argv: Vec<String> = std::env::args().collect();
-    argv.iter()
-        .position(|a| a == "--json")
-        .and_then(|i| argv.get(i + 1).cloned())
-}
-
 fn main() {
     let args = Args::parse(1_000_000, 1);
     let json_path = parse_json_path();

@@ -108,6 +108,24 @@ pub fn fmt(value: f64) -> String {
     }
 }
 
+/// Clamps a non-finite rate to 0.0 so JSON perf snapshots stay parseable
+/// no matter what the clocks measured.
+pub fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// The `--json PATH` argument of the perf-snapshot binaries, if present.
+pub fn parse_json_path() -> Option<String> {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| argv.get(i + 1).cloned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

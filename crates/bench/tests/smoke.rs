@@ -44,6 +44,7 @@ const BINARIES: &[(&str, &str)] = &[
         env!("CARGO_BIN_EXE_fig_pipeline_scaling"),
     ),
     ("fig_live_query", env!("CARGO_BIN_EXE_fig_live_query")),
+    ("fig_elastic", env!("CARGO_BIN_EXE_fig_elastic")),
 ];
 
 #[test]

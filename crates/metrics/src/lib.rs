@@ -18,7 +18,10 @@
 //! * live-query serving metrics — query-latency quantiles
 //!   ([`latency::LatencySeries`]) and snapshot staleness
 //!   ([`latency::StalenessTracker`]) — for the concurrent snapshot/query
-//!   path of `salsa-pipeline`.
+//!   path of `salsa-pipeline`;
+//! * lock-free load gauges ([`load::LoadGauges`]) published by the elastic
+//!   control plane's monitor (shard count, queue depth, ingest rate,
+//!   utilization) for scaling policies and exporters to read.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,12 +29,14 @@
 pub mod error;
 pub mod ground_truth;
 pub mod latency;
+pub mod load;
 pub mod stats;
 pub mod throughput;
 
 pub use error::{average_errors, relative_error, AverageErrors, OnArrivalError};
 pub use ground_truth::GroundTruth;
 pub use latency::{LatencySeries, StalenessTracker};
+pub use load::{Gauge, LoadGauges};
 pub use stats::Summary;
 pub use throughput::{mops_for, Throughput};
 

@@ -1,0 +1,107 @@
+//! Load gauges for the elastic control plane.
+//!
+//! The self-adjusting pipeline needs its observed load as a shared,
+//! lock-free signal: a `LoadMonitor` (in `salsa-pipeline`) samples the
+//! workers and publishes here, and anything else — the scaling policy, a
+//! metrics exporter, a test — reads the latest values without touching the
+//! ingest path.  A [`Gauge`] is a single `f64` behind an atomic (stored as
+//! its bit pattern), so reads and writes never block and torn values are
+//! impossible; [`LoadGauges`] groups the signals the control plane
+//! watches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free, shareable `f64` gauge: the last written value wins, reads
+/// never block.  Writes use release ordering and reads acquire, so a reader
+/// that observes a sample also observes everything written before it.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge reading `0.0`.
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Publishes a new value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Release);
+    }
+
+    /// The most recently published value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+}
+
+/// The load signals the elastic control plane publishes on every monitor
+/// sample.  Share one instance (behind an `Arc`) between the monitor and
+/// whoever watches the pipeline.
+#[derive(Debug, Default)]
+pub struct LoadGauges {
+    /// Current number of worker shards.
+    pub shards: Gauge,
+    /// Items pushed but not yet applied by a worker (producer-side buffers
+    /// plus in-flight channel batches) — the global queue depth.
+    pub pending_items: Gauge,
+    /// Deepest per-shard queue (items dispatched to one worker but not yet
+    /// applied): the saturation signal a grow decision watches.
+    pub max_queue_depth: Gauge,
+    /// Ingest rate over the last monitor interval, in million updates/sec.
+    pub ingest_mops: Gauge,
+    /// Busiest-shard utilization over the last monitor interval
+    /// (busy-seconds / wall-seconds, clamped to `0.0..=1.0`): the idleness
+    /// signal a shrink decision watches.
+    pub utilization: Gauge,
+}
+
+impl LoadGauges {
+    /// Fresh gauges, all reading `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn gauge_round_trips_values() {
+        let gauge = Gauge::new();
+        assert_eq!(gauge.get(), 0.0);
+        gauge.set(12.75);
+        assert_eq!(gauge.get(), 12.75);
+        gauge.set(-0.5);
+        assert_eq!(gauge.get(), -0.5);
+    }
+
+    #[test]
+    fn gauges_are_shareable_across_threads() {
+        let gauges = Arc::new(LoadGauges::new());
+        let writer = Arc::clone(&gauges);
+        std::thread::spawn(move || {
+            writer.shards.set(4.0);
+            writer.ingest_mops.set(31.25);
+        })
+        .join()
+        .expect("writer thread panicked");
+        assert_eq!(gauges.shards.get(), 4.0);
+        assert_eq!(gauges.ingest_mops.get(), 31.25);
+        assert_eq!(gauges.utilization.get(), 0.0);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let gauge = Gauge::new();
+        for i in 0..100 {
+            gauge.set(i as f64);
+        }
+        assert_eq!(gauge.get(), 99.0);
+    }
+}

@@ -30,6 +30,17 @@
 //!   [`ShardedPipeline::live_handle`] hands out clonable [`LiveHandle`]s
 //!   that snapshot and query from other threads without stopping the
 //!   workers (a [`SnapshotableSketch`] clone per shard is the entire cost).
+//!   A [`CachedSnapshots`] layer re-serves one assembled view within a
+//!   configurable staleness budget, so high query rates don't multiply the
+//!   clone cost.
+//! * The shard count itself is **elastic**: an [`ElasticPipeline`] rescales
+//!   while ingesting via generation-based resharding (drain → seal → fresh
+//!   worker set), with [`ElasticHandle`]s that keep serving across rescales
+//!   at monotone epochs, a [`policy::LoadMonitor`] sampling queue depth /
+//!   busy time / ingest rate into `salsa-metrics` gauges, and pluggable
+//!   [`policy::ScalingPolicy`] implementations deciding when to scale.
+//!   For sum-merge rows the merged view stays byte-identical to an
+//!   unsharded run no matter how many rescales happen mid-stream.
 //!
 //! ```
 //! use salsa_pipeline::{run_sharded, PipelineConfig};
@@ -70,7 +81,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod elastic;
 pub mod live;
+pub mod policy;
 pub mod sharded;
 pub mod snapshot;
 
@@ -81,8 +94,10 @@ use salsa_sketches::cs::CountSketch;
 use salsa_sketches::cus::ConservativeUpdate;
 use salsa_sketches::estimator::FrequencyEstimator;
 
-pub use live::LiveHandle;
-pub use sharded::{run_sharded, PipelineOutput, ShardStats, ShardedPipeline};
+pub use elastic::{ElasticHandle, ElasticOutput, ElasticPipeline, GenerationInfo, RescaleEvent};
+pub use live::{CachePolicy, CachedSnapshots, LiveHandle, SnapshotSource};
+pub use policy::{LoadMonitor, LoadSnapshot, Manual, ScalingPolicy, Threshold};
+pub use sharded::{run_sharded, PipelineOutput, ShardLoad, ShardStats, ShardedPipeline};
 pub use snapshot::SnapshotView;
 
 /// Default seed of the router hash.  It is fixed (and distinct from typical
@@ -232,13 +247,28 @@ impl PipelineConfig {
 
     /// A configuration with `shards` workers, the default batch size,
     /// [`Partition::ByKey`] routing and the default router seed.
+    ///
+    /// A shard count of `0` is clamped to `1`, mirroring
+    /// [`PipelineConfig::with_batch_size`]: no builder-style configuration
+    /// can produce a config that panics at pipeline construction.
     pub fn new(shards: usize) -> Self {
         Self {
-            shards,
+            shards: shards.max(1),
             batch_size: Self::DEFAULT_BATCH_SIZE,
             partition: Partition::default(),
             router_seed: DEFAULT_ROUTER_SEED,
         }
+    }
+
+    /// Returns the configuration with a different shard count.
+    ///
+    /// A shard count of `0` is clamped to `1` — same rule as
+    /// [`PipelineConfig::with_batch_size`], so builders can't configure a
+    /// pipeline that trips the `shards > 0` assertion in
+    /// [`ShardedPipeline::new`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Returns the configuration with a different batch size.

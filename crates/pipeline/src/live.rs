@@ -12,12 +12,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use salsa_hash::BobHash;
 
-use crate::sharded::Command;
+use crate::sharded::{Command, ShardProgress};
 use crate::snapshot::SnapshotView;
 use crate::{Partition, SnapshotableSketch};
 
@@ -33,7 +33,7 @@ use crate::{Partition, SnapshotableSketch};
 /// [`ShardedPipeline::finish`]: crate::ShardedPipeline::finish
 pub struct LiveHandle<S: SnapshotableSketch> {
     senders: Vec<SyncSender<Command<S>>>,
-    acked: Vec<Arc<AtomicU64>>,
+    progress: Vec<Arc<ShardProgress>>,
     partition: Partition,
     router: BobHash,
 }
@@ -42,7 +42,7 @@ impl<S: SnapshotableSketch> Clone for LiveHandle<S> {
     fn clone(&self) -> Self {
         Self {
             senders: self.senders.clone(),
-            acked: self.acked.clone(),
+            progress: self.progress.clone(),
             partition: self.partition,
             router: self.router,
         }
@@ -52,13 +52,13 @@ impl<S: SnapshotableSketch> Clone for LiveHandle<S> {
 impl<S: SnapshotableSketch> LiveHandle<S> {
     pub(crate) fn new(
         senders: Vec<SyncSender<Command<S>>>,
-        acked: Vec<Arc<AtomicU64>>,
+        progress: Vec<Arc<ShardProgress>>,
         partition: Partition,
         router: BobHash,
     ) -> Self {
         Self {
             senders,
-            acked,
+            progress,
             partition,
             router,
         }
@@ -80,7 +80,10 @@ impl<S: SnapshotableSketch> LiveHandle<S> {
     /// shards.  Comparing this against a view's [`SnapshotView::epoch`]
     /// gives the view's staleness in items.
     pub fn acknowledged(&self) -> u64 {
-        self.acked.iter().map(|a| a.load(Ordering::Acquire)).sum()
+        self.progress
+            .iter()
+            .map(|p| p.applied.load(Ordering::Acquire))
+            .sum()
     }
 
     /// The shard that owns `item`'s entire sub-stream, if the partitioning
@@ -163,6 +166,161 @@ impl<S: SnapshotableSketch> LiveHandle<S> {
         match self.owner_of(item) {
             Some(shard) => Some(self.snapshot_shard(shard)?.estimate(item)),
             None => Some(self.snapshot()?.estimate(item)),
+        }
+    }
+
+    /// Wraps this handle in a [`CachedSnapshots`] layer that re-serves one
+    /// assembled view until it exceeds the given staleness bounds — see
+    /// [`CachePolicy`] for the bounds' semantics.
+    pub fn cached(self, policy: CachePolicy) -> CachedSnapshots<Self, S> {
+        CachedSnapshots::new(self, policy)
+    }
+}
+
+/// Anything that can produce merged, epoch-stamped views of a running
+/// pipeline and report its live acknowledged count: [`LiveHandle`] (one
+/// fixed worker set) and [`ElasticHandle`](crate::ElasticHandle) (across
+/// rescales).  The [`CachedSnapshots`] layer is generic over this, so both
+/// handle kinds share one cache implementation.
+pub trait SnapshotSource<S> {
+    /// A fresh consistent view, or `None` once the pipeline has finished.
+    fn snapshot(&self) -> Option<SnapshotView<S>>;
+
+    /// Total updates acknowledged by the pipeline right now; comparing it
+    /// against a view's epoch gives the view's staleness in items.
+    fn acknowledged(&self) -> u64;
+}
+
+impl<S: SnapshotableSketch> SnapshotSource<S> for LiveHandle<S> {
+    fn snapshot(&self) -> Option<SnapshotView<S>> {
+        LiveHandle::snapshot(self)
+    }
+
+    fn acknowledged(&self) -> u64 {
+        LiveHandle::acknowledged(self)
+    }
+}
+
+/// When a cached view is still fresh enough to re-serve.
+///
+/// A view is re-served while **both** bounds hold: it is younger than
+/// `max_age` *and* fewer than `max_lag_items` updates were acknowledged
+/// after its epoch.  Set a bound to its type's maximum to disable it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Maximum age of a served view (the "T ms" staleness budget).
+    pub max_age: Duration,
+    /// Maximum number of acknowledged updates a served view may miss.
+    pub max_lag_items: u64,
+}
+
+impl CachePolicy {
+    /// A policy bounding both view age and missed updates.
+    pub fn new(max_age: Duration, max_lag_items: u64) -> Self {
+        Self {
+            max_age,
+            max_lag_items,
+        }
+    }
+}
+
+struct CacheState<S> {
+    cached: Mutex<Option<Arc<SnapshotView<S>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A TTL cache in front of a snapshot-producing handle: instead of cloning
+/// every shard on every query, one assembled [`SnapshotView`] is re-served
+/// (behind an `Arc`) until it is older than the policy's `max_age` or more
+/// than `max_lag_items` acknowledged updates behind the live stream.
+///
+/// Clones share the cache, so a pool of query threads cloning one
+/// `CachedSnapshots` pays for at most one snapshot assembly per staleness
+/// window regardless of its query rate.  [`CachedSnapshots::hits`] /
+/// [`CachedSnapshots::misses`] expose the cache's effectiveness.
+pub struct CachedSnapshots<H, S> {
+    source: H,
+    policy: CachePolicy,
+    state: Arc<CacheState<S>>,
+}
+
+impl<H: Clone, S> Clone for CachedSnapshots<H, S> {
+    fn clone(&self) -> Self {
+        Self {
+            source: self.source.clone(),
+            policy: self.policy,
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<H: SnapshotSource<S>, S> CachedSnapshots<H, S> {
+    /// Wraps `source` with the given staleness policy.
+    pub fn new(source: H, policy: CachePolicy) -> Self {
+        Self {
+            source,
+            policy,
+            state: Arc::new(CacheState {
+                cached: Mutex::new(None),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The underlying (uncached) handle.
+    pub fn source(&self) -> &H {
+        &self.source
+    }
+
+    /// The staleness policy views are served under.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Queries served from the cached view, across all clones.
+    pub fn hits(&self) -> u64 {
+        self.state.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that had to assemble a fresh view, across all clones.
+    pub fn misses(&self) -> u64 {
+        self.state.misses.load(Ordering::Relaxed)
+    }
+
+    /// A view no staler than the policy allows: the cached one when it is
+    /// still within bounds, otherwise a freshly assembled (and re-cached)
+    /// one.  After the pipeline finishes, a still-in-bounds cached view is
+    /// served as usual (it is exact for the final stream up to its lag);
+    /// once it expires, the entry is dropped and the call returns `None`.
+    pub fn snapshot(&self) -> Option<Arc<SnapshotView<S>>> {
+        let mut cached = self
+            .state
+            .cached
+            .lock()
+            .expect("snapshot cache lock poisoned");
+        if let Some(view) = cached.as_ref() {
+            let lag = self.source.acknowledged().saturating_sub(view.epoch());
+            if view.staleness() <= self.policy.max_age && lag <= self.policy.max_lag_items {
+                self.state.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(view));
+            }
+        }
+        // Assemble while holding the lock: under a thundering herd of
+        // expired queries exactly one clone pays the assembly and the rest
+        // serve its result, which is the point of the cache.
+        match self.source.snapshot() {
+            Some(fresh) => {
+                self.state.misses.fetch_add(1, Ordering::Relaxed);
+                let fresh = Arc::new(fresh);
+                *cached = Some(Arc::clone(&fresh));
+                Some(fresh)
+            }
+            None => {
+                *cached = None;
+                None
+            }
         }
     }
 }

@@ -42,6 +42,39 @@ use crate::{Partition, PipelineConfig, SnapshotableSketch};
 /// freshly assembled snapshot can be (at most this many batches per shard).
 const CHANNEL_DEPTH: usize = 4;
 
+/// Progress counters a worker publishes after every applied batch, read
+/// lock-free by [`LiveHandle`] (staleness accounting) and by the elastic
+/// control plane's load monitor (queue depth and utilization sampling).
+#[derive(Debug, Default)]
+pub(crate) struct ShardProgress {
+    /// Items this worker has applied.
+    pub(crate) applied: AtomicU64,
+    /// Cumulative wall-clock nanoseconds this worker has spent inside
+    /// `batch_update` — busy time, excluding channel waits.
+    pub(crate) busy_nanos: AtomicU64,
+}
+
+/// A point-in-time load reading for one shard, taken producer-side without
+/// talking to the worker (see [`ShardedPipeline::shard_loads`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardLoad {
+    /// Items dispatched to this worker (excludes producer-side buffers).
+    pub dispatched: u64,
+    /// Items the worker has applied so far.
+    pub applied: u64,
+    /// Cumulative seconds the worker has spent applying batches.
+    pub busy_secs: f64,
+}
+
+impl ShardLoad {
+    /// Items sitting in this shard's channel: dispatched but not yet
+    /// applied.  The saturation signal — a persistently deep queue means
+    /// the worker cannot keep up with its slice of the stream.
+    pub fn queue_depth(&self) -> u64 {
+        self.dispatched.saturating_sub(self.applied)
+    }
+}
+
 /// What the producer and live handles send to a shard worker.
 pub(crate) enum Command<S> {
     /// Apply a batch of items to the shard's sketch.
@@ -133,7 +166,8 @@ pub struct ShardedPipeline<S: SnapshotableSketch> {
     router: BobHash,
     buffers: Vec<Vec<u64>>,
     workers: Vec<Worker<S>>,
-    acked: Vec<Arc<AtomicU64>>,
+    progress: Vec<Arc<ShardProgress>>,
+    dispatched: Vec<u64>,
     next_shard: usize,
     pushed: u64,
 }
@@ -155,29 +189,39 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
     pub fn new(config: &PipelineConfig, mut factory: impl FnMut(usize) -> S) -> Self {
         assert!(config.shards > 0, "a pipeline needs at least one shard");
         assert!(config.batch_size > 0, "batch size must be positive");
-        let mut acked = Vec::with_capacity(config.shards);
+        let mut progress = Vec::with_capacity(config.shards);
         let workers = (0..config.shards)
             .map(|shard| {
                 let (tx, rx) = sync_channel::<Command<S>>(CHANNEL_DEPTH);
                 let mut sketch = factory(shard);
-                let shard_acked = Arc::new(AtomicU64::new(0));
-                acked.push(Arc::clone(&shard_acked));
+                let shard_progress = Arc::new(ShardProgress::default());
+                progress.push(Arc::clone(&shard_progress));
                 let handle = std::thread::Builder::new()
                     .name(format!("salsa-shard-{shard}"))
                     .spawn(move || {
                         let mut stats = ShardStats::default();
+                        let mut busy_nanos = 0u64;
                         while let Ok(command) = rx.recv() {
                             match command {
                                 Command::Ingest(batch) => {
                                     let start = Instant::now();
                                     sketch.batch_update(&batch);
-                                    stats.busy_secs += start.elapsed().as_secs_f64();
+                                    // One accumulator (integer nanos) for busy
+                                    // time; the f64 in ShardStats is derived
+                                    // from it, so the two can never drift.
+                                    busy_nanos += start.elapsed().as_nanos() as u64;
+                                    stats.busy_secs = busy_nanos as f64 / 1e9;
                                     stats.items += batch.len() as u64;
                                     stats.batches += 1;
                                     // Publish progress once per batch so live
                                     // handles can measure snapshot staleness
-                                    // without touching the hot path per item.
-                                    shard_acked.store(stats.items, Ordering::Release);
+                                    // (and the load monitor queue depth and
+                                    // utilization) without touching the hot
+                                    // path per item.
+                                    shard_progress.applied.store(stats.items, Ordering::Release);
+                                    shard_progress
+                                        .busy_nanos
+                                        .store(busy_nanos, Ordering::Release);
                                 }
                                 Command::Snapshot(reply) => {
                                     let start = Instant::now();
@@ -210,7 +254,8 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
             router: BobHash::new(config.router_seed),
             buffers: vec![Vec::with_capacity(config.batch_size); config.shards],
             workers,
-            acked,
+            progress,
+            dispatched: vec![0; config.shards],
             next_shard: 0,
             pushed: 0,
         }
@@ -276,7 +321,8 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
         }
     }
 
-    fn dispatch(&self, shard: usize, batch: Vec<u64>) {
+    fn dispatch(&mut self, shard: usize, batch: Vec<u64>) {
+        self.dispatched[shard] += batch.len() as u64;
         // Blocks when the worker is CHANNEL_DEPTH commands behind
         // (backpressure); only errors if the worker died, which would
         // surface as a panic on join anyway.
@@ -284,6 +330,29 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
             .tx
             .send(Command::Ingest(batch))
             .expect("shard worker disappeared while the pipeline was running");
+    }
+
+    /// Items currently sitting in the producer-side buffers (pushed but not
+    /// yet dispatched to any worker).
+    pub fn buffered(&self) -> u64 {
+        self.buffers.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// A producer-side load reading per shard: items dispatched, items
+    /// applied, and cumulative busy time — taken from the workers' published
+    /// progress counters without sending them any command, so sampling is
+    /// free for the ingest path.  This is the raw signal behind the elastic
+    /// control plane's [`LoadMonitor`](crate::policy::LoadMonitor).
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.progress
+            .iter()
+            .zip(&self.dispatched)
+            .map(|(progress, &dispatched)| ShardLoad {
+                dispatched,
+                applied: progress.applied.load(Ordering::Acquire),
+                busy_secs: progress.busy_nanos.load(Ordering::Acquire) as f64 / 1e9,
+            })
+            .collect()
     }
 
     /// Returns a clonable, `Send` handle that can snapshot and query this
@@ -294,7 +363,7 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
     pub fn live_handle(&self) -> LiveHandle<S> {
         LiveHandle::new(
             self.workers.iter().map(|w| w.tx.clone()).collect(),
-            self.acked.clone(),
+            self.progress.clone(),
             self.partition,
             self.router,
         )
@@ -634,10 +703,71 @@ mod tests {
     }
 
     #[test]
+    fn zero_shards_is_clamped_to_one() {
+        // Builder-style configuration can't panic: both `new(0)` and
+        // `with_shards(0)` clamp to a single shard, mirroring the
+        // `with_batch_size(0)` rule.
+        assert_eq!(PipelineConfig::new(0).shards, 1);
+        assert_eq!(PipelineConfig::new(4).with_shards(0).shards, 1);
+        assert_eq!(PipelineConfig::new(4).with_shards(3).shards, 3);
+        let items = zipfish_stream(2_000, 100, 67);
+        let make = |_: usize| CountMin::salsa(2, 128, 8, MergeOp::Sum, 71);
+        let out = run_sharded(&PipelineConfig::new(0), make, &items);
+        let single = unsharded(make(0), &items);
+        assert_eq!(out.shards.len(), 1);
+        for item in 0..100u64 {
+            assert_eq!(out.merged.estimate(item), single.estimate(item));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
-    fn zero_shards_panics() {
-        let _ = ShardedPipeline::new(&PipelineConfig::new(0), |_| {
-            CountMin::salsa(2, 64, 8, MergeOp::Sum, 1)
-        });
+    fn zero_shards_in_a_handcrafted_config_panics() {
+        // The defensive assertion still guards direct field construction,
+        // which bypasses the clamping builders.
+        let config = PipelineConfig {
+            shards: 0,
+            ..PipelineConfig::new(1)
+        };
+        let _ = ShardedPipeline::new(&config, |_| CountMin::salsa(2, 64, 8, MergeOp::Sum, 1));
+    }
+
+    #[test]
+    fn shard_loads_track_dispatch_apply_and_busy_time() {
+        let items: Vec<u64> = (0..4_096).collect();
+        let config = PipelineConfig::new(2)
+            .with_partition(Partition::RoundRobin)
+            .with_batch_size(256);
+        let mut pipeline =
+            ShardedPipeline::new(&config, |_| CountMin::salsa(2, 256, 8, MergeOp::Sum, 73));
+        pipeline.extend(&items);
+        assert_eq!(
+            pipeline.buffered()
+                + pipeline
+                    .shard_loads()
+                    .iter()
+                    .map(|l| l.dispatched)
+                    .sum::<u64>(),
+            items.len() as u64,
+            "every pushed item is buffered or dispatched"
+        );
+        pipeline.drain();
+        let loads = pipeline.shard_loads();
+        assert_eq!(pipeline.buffered(), 0);
+        for load in &loads {
+            assert_eq!(load.dispatched, 2_048);
+            assert_eq!(load.applied, 2_048, "drained: everything applied");
+            assert_eq!(load.queue_depth(), 0);
+            assert!(load.busy_secs >= 0.0);
+        }
+        let out = pipeline.finish();
+        for (load, stats) in loads.iter().zip(&out.shards) {
+            // Both derive from the worker's single nanos accumulator, so
+            // (after a drain) they agree exactly.
+            assert_eq!(
+                load.busy_secs, stats.busy_secs,
+                "published busy time diverged from the final accounting"
+            );
+        }
     }
 }

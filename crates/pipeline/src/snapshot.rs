@@ -31,6 +31,7 @@ use crate::sharded::ShardStats;
 pub struct SnapshotView<S> {
     merged: S,
     epoch: u64,
+    generation: u64,
     shards: Vec<ShardStats>,
     issued: Instant,
     assembled: Instant,
@@ -41,6 +42,33 @@ impl<S> SnapshotView<S> {
         Self {
             merged,
             epoch,
+            generation: 0,
+            shards,
+            issued,
+            assembled: Instant::now(),
+        }
+    }
+
+    /// Decomposes the view so the elastic layer can fold sealed generations
+    /// into it and re-stamp the epoch (`(merged, epoch, shards, issued)`).
+    pub(crate) fn into_parts(self) -> (S, u64, Vec<ShardStats>, Instant) {
+        (self.merged, self.epoch, self.shards, self.issued)
+    }
+
+    /// Rebuilds a view from [`SnapshotView::into_parts`] output with a new
+    /// merged sketch, a rebased epoch and a generation stamp.  `assembled`
+    /// is re-taken, so `assembly_time` covers the extra fold.
+    pub(crate) fn from_parts(
+        merged: S,
+        epoch: u64,
+        generation: u64,
+        shards: Vec<ShardStats>,
+        issued: Instant,
+    ) -> Self {
+        Self {
+            merged,
+            epoch,
+            generation,
             shards,
             issued,
             assembled: Instant::now(),
@@ -51,6 +79,20 @@ impl<S> SnapshotView<S> {
     #[inline]
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Which worker-set generation served this view: `0` for a fixed
+    /// [`ShardedPipeline`], and the number of completed rescales at serve
+    /// time for a view from an [`ElasticPipeline`] /
+    /// [`ElasticHandle`] — the view then also folds every sealed
+    /// generation, so its estimates still cover the whole stream.
+    ///
+    /// [`ShardedPipeline`]: crate::ShardedPipeline
+    /// [`ElasticPipeline`]: crate::ElasticPipeline
+    /// [`ElasticHandle`]: crate::ElasticHandle
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Per-shard statistics at the moment each shard was cloned.

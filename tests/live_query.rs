@@ -8,8 +8,12 @@
 //! ingestion are consistent, not merely approximate; and concurrent
 //! [`LiveHandle`] snapshots have monotonically non-decreasing epochs.
 
+use std::time::Duration;
+
 use salsa_core::prelude::*;
-use salsa_pipeline::{LiveHandle, Partition, PipelineConfig, ShardedPipeline, SnapshotableSketch};
+use salsa_pipeline::{
+    CachePolicy, LiveHandle, Partition, PipelineConfig, ShardedPipeline, SnapshotableSketch,
+};
 use salsa_sketches::prelude::*;
 use salsa_workloads::TraceSpec;
 
@@ -192,6 +196,46 @@ fn handles_go_dark_after_finish() {
     assert!(handle.snapshot().is_none(), "snapshot after finish");
     assert!(handle.snapshot_shard(0).is_none(), "shard after finish");
     assert!(handle.estimate(7).is_none(), "estimate after finish");
+}
+
+#[test]
+fn cached_snapshots_reuse_views_within_the_staleness_budget() {
+    let items = trace();
+    let config = PipelineConfig::new(3).with_batch_size(256);
+    let mut pipeline = ShardedPipeline::new(&config, make_cms());
+    pipeline.extend(&items[..30_000]);
+    pipeline.drain();
+
+    // Generous budget: every query after the first is a cache hit, and all
+    // clones of the cached handle share the one entry (and the counters).
+    let cached = pipeline
+        .live_handle()
+        .cached(CachePolicy::new(Duration::from_secs(3_600), u64::MAX));
+    let sharer = cached.clone();
+    let first = cached.snapshot().expect("pipeline is live");
+    for _ in 0..9 {
+        let view = sharer.snapshot().expect("pipeline is live");
+        assert_eq!(view.epoch(), first.epoch());
+    }
+    assert_eq!(cached.misses(), 1, "one assembly served ten queries");
+    assert_eq!(cached.hits(), 9);
+    assert_eq!(sharer.hits(), 9, "clones share the counters");
+
+    // An item-lag bound of zero expires the entry as soon as any new
+    // update is acknowledged.
+    let strict = pipeline
+        .live_handle()
+        .cached(CachePolicy::new(Duration::from_secs(3_600), 0));
+    let before = strict.snapshot().expect("pipeline is live");
+    assert_eq!(before.epoch(), 30_000);
+    pipeline.extend(&items[30_000..]);
+    pipeline.drain();
+    let after = strict.snapshot().expect("pipeline is live");
+    assert_eq!(after.epoch(), UPDATES as u64, "lag bound forced a refresh");
+    assert_eq!(strict.misses(), 2);
+    assert_eq!(strict.hits(), 0);
+    assert_eq!(strict.policy().max_lag_items, 0);
+    pipeline.finish();
 }
 
 #[test]
