@@ -15,13 +15,19 @@
 //! `fig_live_query` with `--json`: a `bench` name plus a `points` array.
 //! Every numeric field of every point becomes a metric named
 //! `{bench}/{labels}/{field}` (labels are the point's `partition` /
-//! `shards` / `qps` / `mode` fields).  **Gated** metrics — `scaled_mops`
-//! (critical-path rate, insensitive to the runner's core *count*),
-//! `ingest_mops` (wall-clock ingest rate under query load) and
-//! `elastic_mops` (wall-clock ingest rate of the elastic pipeline,
-//! including its rescale pauses) — fail the run
-//! when they drop more than the threshold below the baseline; `wall_mops`
-//! and everything else is reported for information only.  All of these
+//! `shards` / `qps` / `mode` fields).  **Gated** metrics fail the run when
+//! they drop more than the threshold below the baseline; everything else
+//! is reported for information only.  Which metrics are gated is
+//! data-driven: the baseline file's `gated_suffixes` array names the
+//! metric suffixes that gate, so tightening or loosening the gate is a
+//! baseline edit, not a code change.  When the field is absent the
+//! built-in defaults apply — `scaled_mops` (critical-path rate,
+//! insensitive to the runner's core *count*), `ingest_mops` (wall-clock
+//! ingest rate under query load) and `elastic_mops` (wall-clock ingest
+//! rate of the elastic pipeline, including its rescale pauses); `wall_mops`
+//! is deliberately not among them because it scales with the runner's
+//! core count.  `--write-baseline` preserves an existing baseline's
+//! threshold and `gated_suffixes` while refreshing the numbers.  All of these
 //! are absolute rates, so the committed baseline is tied to a hardware
 //! class: on a materially slower/faster runner, re-baseline with
 //! `--write-baseline` (or loosen `BENCH_REGRESSION_THRESHOLD`) rather
@@ -40,12 +46,32 @@ use salsa_bench::json::{escape, parse, Json};
 /// Fields that identify a point rather than measure it.
 const LABEL_FIELDS: &[&str] = &["partition", "shards", "qps", "mode"];
 
-/// Metrics whose regression fails the gate.  `wall_mops` is excluded on
-/// purpose: it scales with the runner's core count, not with the code.
-const GATED_SUFFIXES: &[&str] = &["scaled_mops", "ingest_mops", "elastic_mops"];
+/// Fallback gated-metric list, used when the baseline file carries no
+/// `gated_suffixes` array.  `wall_mops` is excluded on purpose: it scales
+/// with the runner's core count, not with the code.
+const DEFAULT_GATED_SUFFIXES: &[&str] = &["scaled_mops", "ingest_mops", "elastic_mops"];
 
-fn is_gated(metric: &str) -> bool {
-    GATED_SUFFIXES.iter().any(|s| metric.ends_with(s))
+fn default_gated_suffixes() -> Vec<String> {
+    DEFAULT_GATED_SUFFIXES
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Reads the baseline's `gated_suffixes` array.  Returns `None` when the
+/// field is absent or malformed (non-array, empty, or non-string entries),
+/// so the caller can warn and fall back to the built-in defaults.
+fn gated_suffixes_of(doc: &Json) -> Option<Vec<String>> {
+    let entries = doc.get("gated_suffixes").and_then(Json::as_arr)?;
+    let suffixes: Vec<String> = entries
+        .iter()
+        .filter_map(|v| v.as_str().map(str::to_string))
+        .collect();
+    (!suffixes.is_empty() && suffixes.len() == entries.len()).then_some(suffixes)
+}
+
+fn is_gated(metric: &str, suffixes: &[String]) -> bool {
+    suffixes.iter().any(|s| metric.ends_with(s.as_str()))
 }
 
 /// Formats a label value: integers without a fraction, strings verbatim.
@@ -107,9 +133,17 @@ fn read_json(path: &str) -> Result<Json, String> {
     parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn write_baseline(path: &str, threshold: f64, metrics: &BTreeMap<String, f64>) {
+fn write_baseline(path: &str, threshold: f64, gated: &[String], metrics: &BTreeMap<String, f64>) {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"threshold\": {threshold},\n"));
+    out.push_str("  \"gated_suffixes\": [");
+    for (i, suffix) in gated.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", escape(suffix)));
+    }
+    out.push_str("],\n");
     out.push_str("  \"metrics\": {\n");
     for (i, (name, value)) in metrics.iter().enumerate() {
         out.push_str(&format!(
@@ -177,7 +211,23 @@ fn main() {
     }
 
     if let Some(path) = &cli.write_baseline {
-        write_baseline(path, cli.threshold.unwrap_or(0.25), &fresh);
+        // Refreshing the numbers must not silently reset the gate's
+        // configuration: keep the threshold and gated-metric list of an
+        // existing baseline unless --threshold overrides the former.
+        let previous = read_json(path).ok();
+        let threshold = cli
+            .threshold
+            .or_else(|| {
+                previous
+                    .as_ref()
+                    .and_then(|doc| doc.get("threshold").and_then(Json::as_f64))
+            })
+            .unwrap_or(0.25);
+        let gated = previous
+            .as_ref()
+            .and_then(gated_suffixes_of)
+            .unwrap_or_else(default_gated_suffixes);
+        write_baseline(path, threshold, &gated, &fresh);
         return;
     }
 
@@ -199,6 +249,13 @@ fn main() {
         })
         .or_else(|| baseline_doc.get("threshold").and_then(Json::as_f64))
         .unwrap_or(0.25);
+    let gated_suffixes = gated_suffixes_of(&baseline_doc).unwrap_or_else(|| {
+        eprintln!(
+            "compare_bench: {baseline_path} has no usable \"gated_suffixes\" array; \
+             gating the built-in defaults {DEFAULT_GATED_SUFFIXES:?}"
+        );
+        default_gated_suffixes()
+    });
 
     // Compare every metric either side knows about.
     let names: Vec<&String> = {
@@ -217,7 +274,7 @@ fn main() {
     let mut failures = 0usize;
     for name in names {
         let (old, new) = (baseline.get(name), fresh.get(name));
-        let gated = is_gated(name);
+        let gated = is_gated(name, &gated_suffixes);
         let (delta, status) = match (old, new) {
             (Some(&old), Some(&new)) => {
                 let delta = if old.abs() > f64::EPSILON {
@@ -278,5 +335,72 @@ fn main() {
     if failures > 0 {
         eprintln!("compare_bench: {failures} gated metric(s) regressed more than {threshold}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gated_suffixes_read_from_baseline_doc() {
+        let doc = parse(r#"{"gated_suffixes": ["scaled_mops", "p99_query_ms"]}"#).unwrap();
+        assert_eq!(
+            gated_suffixes_of(&doc),
+            Some(vec!["scaled_mops".to_string(), "p99_query_ms".to_string()])
+        );
+    }
+
+    #[test]
+    fn absent_or_malformed_gated_suffixes_fall_back() {
+        for text in [
+            r#"{"threshold": 0.25}"#,
+            r#"{"gated_suffixes": []}"#,
+            r#"{"gated_suffixes": "scaled_mops"}"#,
+            r#"{"gated_suffixes": ["scaled_mops", 3]}"#,
+        ] {
+            let doc = parse(text).unwrap();
+            assert_eq!(gated_suffixes_of(&doc), None, "doc: {text}");
+        }
+    }
+
+    #[test]
+    fn gating_matches_metric_suffixes_only() {
+        let suffixes = default_gated_suffixes();
+        assert!(is_gated(
+            "fig_pipeline_scaling/partition=by_key/shards=4/scaled_mops",
+            &suffixes
+        ));
+        assert!(is_gated("fig_live_query/qps=100/ingest_mops", &suffixes));
+        assert!(!is_gated(
+            "fig_pipeline_scaling/partition=by_key/shards=4/wall_mops",
+            &suffixes
+        ));
+        assert!(!is_gated("fig_live_query/qps=100/p99_query_ms", &suffixes));
+    }
+
+    #[test]
+    fn written_baseline_round_trips_the_gate_config() {
+        let dir = std::env::temp_dir().join("compare_bench_test_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let path_str = path.to_string_lossy().into_owned();
+        let mut metrics = BTreeMap::new();
+        metrics.insert("b/scaled_mops".to_string(), 10.0);
+        let gated = vec!["scaled_mops".to_string(), "p99_query_ms".to_string()];
+        write_baseline(&path_str, 0.1, &gated, &metrics);
+        let doc = read_json(&path_str).unwrap();
+        assert_eq!(doc.get("threshold").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(gated_suffixes_of(&doc), Some(gated));
+        assert_eq!(
+            flatten_baseline_metric(&doc, "b/scaled_mops"),
+            Some(10.0),
+            "metrics survive the round trip"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn flatten_baseline_metric(doc: &Json, name: &str) -> Option<f64> {
+        doc.get("metrics")?.get(name).and_then(Json::as_f64)
     }
 }

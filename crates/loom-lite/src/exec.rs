@@ -1,0 +1,559 @@
+//! The deterministic scheduler and the depth-first schedule explorer.
+//!
+//! One *execution* runs the model closure once under a prescribed schedule
+//! prefix: every modeled operation enters [`Execution::switch_point`],
+//! where the scheduler either replays the prescribed decision or makes a
+//! default one (keep running the current thread) while recording which
+//! alternative threads could have been chosen.  The explorer then
+//! backtracks over those recorded alternatives, re-running the closure
+//! until the bounded schedule space is exhausted — a textbook stateless
+//! depth-first search in the style of CHESS/loom, with real OS threads
+//! gated on a condition variable standing in for continuations.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel panic payload used to unwind modeled threads when an execution
+/// aborts (failure found, or a sibling thread panicked).  Never surfaces to
+/// the user: the wrapper in [`run_thread`] swallows it.
+pub(crate) struct Abort;
+
+thread_local! {
+    static CONTEXT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The per-OS-thread handle into the active execution, if any.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) id: usize,
+}
+
+/// The current modeled-thread context (`None` outside a model run, in
+/// which case modeled primitives degrade to plain `std::sync` behavior).
+pub(crate) fn context() -> Option<Ctx> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// What a modeled thread is allowed to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// May be scheduled.
+    Runnable,
+    /// Called [`crate::thread::yield_now`]; re-runnable once another
+    /// thread has taken a step (prevents spin loops from monopolizing the
+    /// exploration).
+    Yielded,
+    /// Waiting for the modeled lock with this id to be released.
+    Lock(usize),
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+    /// Done; never scheduled again.
+    Finished,
+}
+
+/// One scheduling decision the explorer can revisit: the thread chosen,
+/// plus the not-yet-tried alternatives that were legal at that point.
+#[derive(Debug)]
+struct Frame {
+    chosen: usize,
+    alternatives: Vec<usize>,
+}
+
+struct ExecState {
+    status: Vec<Status>,
+    /// The one thread allowed to run right now.
+    current: usize,
+    finished: usize,
+    /// Decisions taken so far in this execution (thread id per decision).
+    taken: Vec<usize>,
+    /// Frames for decisions *beyond* the prescribed prefix — the explorer
+    /// appends these to its stack after the run.
+    new_frames: Vec<Frame>,
+    /// Schedule prefix the explorer wants replayed.
+    prescribed: Vec<usize>,
+    preemptions_left: usize,
+    steps: u64,
+    max_steps: u64,
+    failure: Option<String>,
+    abort: bool,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+/// What one completed execution reports back to the explorer.
+struct Outcome {
+    failure: Option<String>,
+    taken: Vec<usize>,
+    new_frames: Vec<Frame>,
+}
+
+impl Execution {
+    /// Declares a scheduling point for thread `me`: another runnable
+    /// thread may be scheduled here (a preemption if `me` could have kept
+    /// running).  Blocks until `me` is scheduled again; panics with
+    /// [`Abort`] if the execution aborts meanwhile.
+    pub(crate) fn switch_point(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.steps += 1;
+        if st.steps > st.max_steps && st.failure.is_none() {
+            st.failure = Some(format!(
+                "livelock: execution exceeded {} scheduling points",
+                st.max_steps
+            ));
+            st.abort = true;
+            self.cv.notify_all();
+            std::panic::panic_any(Abort);
+        }
+        // `me` just took a step, so every spin-yielded thread has seen
+        // progress and becomes eligible again.
+        for (i, s) in st.status.iter_mut().enumerate() {
+            if i != me && *s == Status::Yielded {
+                *s = Status::Runnable;
+            }
+        }
+        self.schedule(&mut st, me, true);
+        self.wait_for_turn(st, me);
+    }
+
+    /// Parks thread `me` with the given blocked status and hands the
+    /// schedule to another thread; returns once `me` is scheduled again.
+    pub(crate) fn block(
+        &self,
+        me: usize,
+        status_is_lock: Option<usize>,
+        join_target: Option<usize>,
+    ) {
+        let mut st = self.lock_state();
+        st.status[me] = match (status_is_lock, join_target) {
+            (Some(lock), None) => Status::Lock(lock),
+            (None, Some(target)) => Status::Join(target),
+            _ => Status::Yielded,
+        };
+        self.schedule(&mut st, me, false);
+        self.wait_for_turn(st, me);
+    }
+
+    /// Marks every thread blocked on modeled lock `lock_id` runnable
+    /// again (called by the releasing guard, which still holds the
+    /// schedule, so no decision is made here).
+    pub(crate) fn unblock_lock_waiters(&self, lock_id: usize) {
+        let mut st = self.lock_state();
+        for s in st.status.iter_mut() {
+            if *s == Status::Lock(lock_id) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Returns whether thread `target` has finished.
+    pub(crate) fn is_finished(&self, target: usize) -> bool {
+        self.lock_state().status[target] == Status::Finished
+    }
+
+    /// Registers a freshly spawned modeled thread and returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.status.push(Status::Runnable);
+        st.status.len() - 1
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Waits (holding the state guard across condvar sleeps) until `me` is
+    /// the current thread; panics with [`Abort`] if the execution aborts.
+    fn wait_for_turn(&self, mut st: std::sync::MutexGuard<'_, ExecState>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.current == me {
+                return;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The decision core: picks the next thread to run at one scheduling
+    /// point.  `me_runnable` is false when `me` just blocked, yielded, or
+    /// finished (a *forced* switch, which never costs preemption budget).
+    fn schedule(&self, st: &mut ExecState, me: usize, me_runnable: bool) {
+        let mut candidates: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            // Only yielded threads left: let them spin rather than report
+            // a phantom deadlock (the step budget bounds real livelocks).
+            for s in st.status.iter_mut() {
+                if *s == Status::Yielded {
+                    *s = Status::Runnable;
+                }
+            }
+            candidates = st
+                .status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Status::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+        }
+        if candidates.is_empty() {
+            if st.finished < st.status.len() && st.failure.is_none() {
+                let blocked: Vec<usize> = st
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s, Status::Lock(_) | Status::Join(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                st.failure = Some(format!("deadlock: threads {blocked:?} are blocked forever"));
+                st.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+
+        let decision = st.taken.len();
+        let choice = if decision < st.prescribed.len() {
+            let forced = st.prescribed[decision];
+            if !candidates.contains(&forced) {
+                // The model used a source of nondeterminism beyond the
+                // scheduler (time, randomness, ...): replay diverged.
+                if st.failure.is_none() {
+                    st.failure = Some(format!(
+                        "nondeterministic model: replay wanted thread {forced} but runnable set \
+                         was {candidates:?} at decision {decision}"
+                    ));
+                    st.abort = true;
+                }
+                self.cv.notify_all();
+                return;
+            }
+            forced
+        } else {
+            let (choice, alternatives) = if me_runnable && candidates.contains(&me) {
+                // Default: keep running; preempting is optional and costs
+                // budget, so alternatives exist only while budget remains.
+                if st.preemptions_left > 0 {
+                    (
+                        me,
+                        candidates.iter().copied().filter(|&t| t != me).collect(),
+                    )
+                } else {
+                    (me, Vec::new())
+                }
+            } else {
+                // Forced switch: every runnable thread is a free choice.
+                (candidates[0], candidates[1..].to_vec())
+            };
+            st.new_frames.push(Frame {
+                chosen: choice,
+                alternatives,
+            });
+            choice
+        };
+        if choice != me && me_runnable && st.status.get(me) == Some(&Status::Runnable) {
+            st.preemptions_left = st.preemptions_left.saturating_sub(1);
+        }
+        st.taken.push(choice);
+        if st.status[choice] == Status::Yielded {
+            st.status[choice] = Status::Runnable;
+        }
+        st.current = choice;
+        self.cv.notify_all();
+    }
+
+    /// Thread-exit protocol: marks `me` finished, wakes joiners, records a
+    /// user panic as the execution's failure, and hands off the schedule.
+    fn finish(&self, me: usize, user_panic: Option<String>) {
+        let mut st = self.lock_state();
+        st.status[me] = Status::Finished;
+        st.finished += 1;
+        for s in st.status.iter_mut() {
+            if *s == Status::Join(me) {
+                *s = Status::Runnable;
+            }
+        }
+        if let Some(message) = user_panic {
+            if st.failure.is_none() {
+                st.failure = Some(message);
+            }
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        if st.abort || st.finished == st.status.len() {
+            self.cv.notify_all();
+            return;
+        }
+        self.schedule(&mut st, me, false);
+    }
+}
+
+/// Runs `body` as modeled thread `id` of `exec`: waits to be scheduled,
+/// runs it under `catch_unwind`, and executes the exit protocol.  Returns
+/// `Some(value)` on clean completion, `None` when the execution aborted.
+pub(crate) fn run_thread<T>(
+    exec: Arc<Execution>,
+    id: usize,
+    body: impl FnOnce() -> T,
+) -> Option<T> {
+    CONTEXT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            id,
+        })
+    });
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let st = exec.lock_state();
+        exec.wait_for_turn(st, id);
+        body()
+    }));
+    let (value, user_panic) = match result {
+        Ok(value) => (Some(value), None),
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_some() {
+                (None, None)
+            } else {
+                (None, Some(panic_message(payload.as_ref())))
+            }
+        }
+    };
+    exec.finish(id, user_panic);
+    CONTEXT.with(|c| *c.borrow_mut() = None);
+    value
+}
+
+fn panic_message(payload: &dyn std::any::Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "modeled thread panicked with a non-string payload".to_string()
+    }
+}
+
+/// Silences the default panic printer for panics raised inside modeled
+/// threads: they are either the [`Abort`] sentinel or a counterexample
+/// that the explorer reports through [`Report::failure`] anyway.
+fn install_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if context().is_some() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// A schedule that violated an invariant, as reported by
+/// [`Builder::check`].
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The panic message, deadlock description, or livelock diagnosis.
+    pub message: String,
+    /// The decision sequence (thread id per scheduling point) that
+    /// reproduces the failure.
+    pub schedule: Vec<usize>,
+}
+
+/// The result of exploring a model's schedule space.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Completed executions — each a distinct thread interleaving.
+    pub interleavings: u64,
+    /// Whether the bounded schedule space was exhausted (`false` when the
+    /// run stopped at [`Builder::max_interleavings`] or on a failure).
+    pub complete: bool,
+    /// The first schedule that violated an invariant, if any.
+    pub failure: Option<Failure>,
+}
+
+/// Exploration bounds for [`Builder::check`].
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Maximum *voluntary* preemptions per execution (forced switches at
+    /// blocking points are free).  2–3 suffices for almost all protocol
+    /// bugs (the CHESS observation); higher explores more schedules.
+    pub preemption_bound: usize,
+    /// Hard cap on executions, as a runaway backstop.
+    pub max_interleavings: u64,
+    /// Per-execution cap on scheduling points; exceeding it is reported as
+    /// a livelock.
+    pub max_steps: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_interleavings: 100_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the preemption bound.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Sets the execution cap.
+    pub fn max_interleavings(mut self, cap: u64) -> Self {
+        self.max_interleavings = cap;
+        self
+    }
+
+    /// Explores `f` under every reachable interleaving within the bounds
+    /// and returns the [`Report`] (first failure wins; exploration stops
+    /// there).
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_hook();
+        let f = Arc::new(f);
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut interleavings = 0u64;
+        loop {
+            let prescribed: Vec<usize> = stack.iter().map(|frame| frame.chosen).collect();
+            let outcome = run_once(Arc::clone(&f), &prescribed, self);
+            interleavings += 1;
+            if let Some(message) = outcome.failure {
+                return Report {
+                    interleavings,
+                    complete: false,
+                    failure: Some(Failure {
+                        message,
+                        schedule: outcome.taken,
+                    }),
+                };
+            }
+            stack.extend(outcome.new_frames);
+            loop {
+                match stack.last_mut() {
+                    None => {
+                        return Report {
+                            interleavings,
+                            complete: true,
+                            failure: None,
+                        }
+                    }
+                    Some(frame) => {
+                        if let Some(alternative) = frame.alternatives.pop() {
+                            frame.chosen = alternative;
+                            break;
+                        }
+                        stack.pop();
+                    }
+                }
+            }
+            if interleavings >= self.max_interleavings {
+                return Report {
+                    interleavings,
+                    complete: false,
+                    failure: None,
+                };
+            }
+        }
+    }
+}
+
+/// Runs the model closure once under `prescribed` and collects the
+/// outcome.  Modeled threads are real OS threads; the scheduler guarantees
+/// only one runs at a time, and this function returns only after all of
+/// them have executed their exit protocol.
+fn run_once<F>(f: Arc<F>, prescribed: &[usize], bounds: &Builder) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Execution {
+        state: Mutex::new(ExecState {
+            status: vec![Status::Runnable],
+            current: 0,
+            finished: 0,
+            taken: Vec::new(),
+            new_frames: Vec::new(),
+            prescribed: prescribed.to_vec(),
+            preemptions_left: bounds.preemption_bound,
+            steps: 0,
+            max_steps: bounds.max_steps,
+            failure: None,
+            abort: false,
+        }),
+        cv: Condvar::new(),
+    });
+    let main_exec = Arc::clone(&exec);
+    let main = std::thread::Builder::new()
+        .name("loom-lite-0".to_string())
+        .spawn(move || {
+            let body_exec = Arc::clone(&main_exec);
+            run_thread(main_exec, 0, move || {
+                f();
+                // The model's "main" joins every straggler implicitly: keep
+                // handing the schedule away until only finished threads
+                // remain, so child threads the closure did not join still
+                // complete inside the exploration.
+                loop {
+                    let st = body_exec.lock_state();
+                    let stragglers = st
+                        .status
+                        .iter()
+                        .enumerate()
+                        .any(|(i, s)| i != 0 && *s != Status::Finished);
+                    drop(st);
+                    if !stragglers {
+                        break;
+                    }
+                    body_exec.block(0, None, None);
+                }
+            })
+        })
+        .expect("failed to spawn the model's main thread");
+    {
+        let mut st = exec.lock_state();
+        loop {
+            if st.finished == st.status.len() {
+                break;
+            }
+            st = exec
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    let _ = main.join();
+    let mut st = exec.lock_state();
+    Outcome {
+        failure: st.failure.take(),
+        taken: std::mem::take(&mut st.taken),
+        new_frames: std::mem::take(&mut st.new_frames),
+    }
+}

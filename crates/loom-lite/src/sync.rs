@@ -1,0 +1,294 @@
+//! Modeled `std::sync` stand-ins: atomics, [`Mutex`], and [`RwLock`].
+//!
+//! Inside a [`crate::model`] run every operation is a scheduling point
+//! (see the internal `exec` module); outside a run each type degrades to the plain
+//! `std::sync` operation with `SeqCst` ordering, so the same code compiles
+//! and behaves correctly in both worlds.
+
+pub use std::sync::Arc;
+
+use crate::exec::context;
+
+/// Modeled atomic integers and booleans.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::exec::context;
+
+    /// A modeled atomic access: one scheduling point, then the real
+    /// operation (which is uncontended — only one modeled thread runs at
+    /// a time, so `SeqCst` on the backing atomic is merely the safe
+    /// storage, not the thing being checked).
+    fn step() {
+        if let Some(ctx) = context() {
+            ctx.exec.switch_point(ctx.id);
+        }
+    }
+
+    macro_rules! modeled_int_atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            /// A modeled atomic integer; every access is a scheduling
+            /// point inside a model run.  The `Ordering` argument is
+            /// accepted for API fidelity; interleavings are explored
+            /// under sequential consistency (see the crate docs).
+            #[derive(Debug, Default)]
+            pub struct $name {
+                value: $std,
+            }
+
+            impl $name {
+                /// Creates the atomic with an initial value.
+                pub fn new(value: $int) -> Self {
+                    Self {
+                        value: <$std>::new(value),
+                    }
+                }
+
+                /// Atomically loads the value.
+                pub fn load(&self, _order: Ordering) -> $int {
+                    step();
+                    self.value.load(Ordering::SeqCst)
+                }
+
+                /// Atomically stores a value.
+                pub fn store(&self, value: $int, _order: Ordering) {
+                    step();
+                    self.value.store(value, Ordering::SeqCst);
+                }
+
+                /// Atomically swaps in a value, returning the previous one.
+                pub fn swap(&self, value: $int, _order: Ordering) -> $int {
+                    step();
+                    self.value.swap(value, Ordering::SeqCst)
+                }
+
+                /// Atomically adds, returning the previous value.
+                pub fn fetch_add(&self, value: $int, _order: Ordering) -> $int {
+                    step();
+                    self.value.fetch_add(value, Ordering::SeqCst)
+                }
+
+                /// Atomically subtracts, returning the previous value.
+                pub fn fetch_sub(&self, value: $int, _order: Ordering) -> $int {
+                    step();
+                    self.value.fetch_sub(value, Ordering::SeqCst)
+                }
+
+                /// Atomically takes the maximum, returning the previous
+                /// value.
+                pub fn fetch_max(&self, value: $int, _order: Ordering) -> $int {
+                    step();
+                    self.value.fetch_max(value, Ordering::SeqCst)
+                }
+
+                /// Atomically compares and exchanges.
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$int, $int> {
+                    step();
+                    self.value
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Consumes the atomic, returning the inner value.
+                pub fn into_inner(self) -> $int {
+                    self.value.into_inner()
+                }
+            }
+        };
+    }
+
+    modeled_int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    modeled_int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    modeled_int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+    /// A modeled atomic boolean; every access is a scheduling point
+    /// inside a model run.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        value: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic with an initial value.
+        pub fn new(value: bool) -> Self {
+            Self {
+                value: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Atomically loads the value.
+        pub fn load(&self, _order: Ordering) -> bool {
+            step();
+            self.value.load(Ordering::SeqCst)
+        }
+
+        /// Atomically stores a value.
+        pub fn store(&self, value: bool, _order: Ordering) {
+            step();
+            self.value.store(value, Ordering::SeqCst);
+        }
+
+        /// Atomically swaps in a value, returning the previous one.
+        pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+            step();
+            self.value.swap(value, Ordering::SeqCst)
+        }
+
+        /// Consumes the atomic, returning the inner value.
+        pub fn into_inner(self) -> bool {
+            self.value.into_inner()
+        }
+    }
+}
+
+/// Lock ids are global (an id is only ever compared within one execution,
+/// so monotonically increasing across executions is fine).
+fn next_lock_id() -> usize {
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// A modeled mutual-exclusion lock.  Inside a model run, acquisition is a
+/// scheduling point and contention parks the thread in the scheduler
+/// (deadlocks are detected and reported); outside a run it is a plain
+/// `std::sync::Mutex`.
+///
+/// Poisoning is not modeled: a panic while holding the lock aborts the
+/// whole execution (it *is* the counterexample), so `lock()` never
+/// returns `Err` in practice; the `Result` mirrors the std API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: usize,
+    held: std::sync::atomic::AtomicBool,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a scheduling point, so a
+/// parked contender can be scheduled before the releaser continues.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the lock.
+    pub fn new(value: T) -> Self {
+        Self {
+            id: next_lock_id(),
+            held: std::sync::atomic::AtomicBool::new(false),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, parking in the model scheduler on contention.
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        let modeled = if let Some(ctx) = context() {
+            loop {
+                ctx.exec.switch_point(ctx.id);
+                if !self.held.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                    break;
+                }
+                // Held by a (paused) sibling: park until its guard drops.
+                ctx.exec.block(ctx.id, Some(self.id), None);
+            }
+            true
+        } else {
+            false
+        };
+        // Uncontended by construction inside a model (the scheduler runs
+        // one thread at a time and `held` was free); genuinely contended
+        // outside one, where it IS the lock.
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            modeled,
+        })
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard holds the lock until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard holds the lock until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if !self.modeled {
+            return;
+        }
+        if let Some(ctx) = context() {
+            self.lock
+                .held
+                .store(false, std::sync::atomic::Ordering::SeqCst);
+            ctx.exec.unblock_lock_waiters(self.lock.id);
+            // Releasing is a visible action: give the scheduler a chance
+            // to run a woken contender before the releaser continues.
+            // Skipped during an unwind (the execution is aborting anyway,
+            // and a panic inside Drop would escalate to a process abort).
+            if !std::thread::panicking() {
+                ctx.exec.switch_point(ctx.id);
+            }
+        }
+    }
+}
+
+/// A modeled reader-writer lock, conservatively approximated as an
+/// *exclusive* lock: readers serialize with each other as well as with
+/// writers.  Every interleaving of critical-section bodies that the real
+/// `std::sync::RwLock` admits for the lock-step protocols in this
+/// workspace (short read sections that copy out shared state) is still
+/// explored; only reader-reader overlap is lost, which cannot introduce
+/// new states when readers do not write.  Outside a model run it is a
+/// plain `std::sync::Mutex` as well.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: Mutex<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates the lock.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Acquires a (modeled-exclusive) read guard.
+    pub fn read(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        self.inner.lock()
+    }
+
+    /// Acquires a write guard.
+    pub fn write(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        self.inner.lock()
+    }
+}

@@ -1,0 +1,75 @@
+//! Modeled threads: [`spawn`], [`JoinHandle`], and [`yield_now`].
+
+use crate::exec::{context, run_thread};
+
+/// Handle to a modeled thread; [`JoinHandle::join`] parks the caller in
+/// the scheduler until the target finishes.
+pub struct JoinHandle<T> {
+    target: Option<usize>,
+    real: std::thread::JoinHandle<Option<T>>,
+}
+
+/// Spawns a modeled thread inside a model run (one more OS thread gated
+/// on the execution's scheduler), or a plain `std::thread` outside one.
+/// Spawning is itself a scheduling point: the child may run immediately.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match context() {
+        Some(ctx) => {
+            let id = ctx.exec.register_thread();
+            let exec = std::sync::Arc::clone(&ctx.exec);
+            let real = std::thread::Builder::new()
+                .name(format!("loom-lite-{id}"))
+                .spawn(move || run_thread(exec, id, f))
+                .expect("failed to spawn a modeled thread");
+            ctx.exec.switch_point(ctx.id);
+            JoinHandle {
+                target: Some(id),
+                real,
+            }
+        }
+        None => JoinHandle {
+            target: None,
+            real: std::thread::spawn(move || Some(f())),
+        },
+    }
+}
+
+/// Declares a spin-loop pause: the calling thread is deprioritized until
+/// another thread has taken a step.  Retry loops in modeled code MUST call
+/// this (instead of sleeping), both so the explorer can bound them and so
+/// waiting does not monopolize the schedule.
+pub fn yield_now() {
+    if let Some(ctx) = context() {
+        ctx.exec.block(ctx.id, None, None);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the target thread to finish and returns its result.
+    ///
+    /// Inside a model run this parks the caller in the scheduler (a join
+    /// cycle is reported as a deadlock).  The `Err` case mirrors the std
+    /// API; inside a model a panicking target aborts the whole execution
+    /// as the counterexample instead of surfacing here.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(target), Some(ctx)) = (self.target, context()) {
+            ctx.exec.switch_point(ctx.id);
+            while !ctx.exec.is_finished(target) {
+                ctx.exec.block(ctx.id, None, Some(target));
+            }
+        }
+        match self.real.join() {
+            Ok(Some(value)) => Ok(value),
+            // The target unwound via the abort sentinel: this execution is
+            // being torn down, so unwind the joiner the same way.
+            Ok(None) => std::panic::panic_any(crate::exec::Abort),
+            Err(payload) => Err(payload),
+        }
+    }
+}

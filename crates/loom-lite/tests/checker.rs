@@ -1,0 +1,183 @@
+//! Self-tests for the loom-lite checker: it must *catch* the classic
+//! concurrency bugs (otherwise a green protocol model means nothing) and
+//! must *pass* their fixed versions while exhausting the bounded schedule
+//! space.
+
+use loom_lite::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use loom_lite::sync::{Arc, Mutex};
+use loom_lite::{thread, Builder};
+
+/// An unsynchronized read-modify-write (load + store, not `fetch_add`)
+/// loses updates under some interleaving; the checker must find it.
+#[test]
+fn catches_lost_update() {
+    let report = Builder::default().check(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let racer = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            let v = racer.load(Ordering::SeqCst);
+            racer.store(v + 1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join().ok();
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let failure = report.failure.expect("the lost update must be found");
+    assert!(
+        failure.message.contains("lost update"),
+        "{}",
+        failure.message
+    );
+    assert!(!failure.schedule.is_empty());
+}
+
+/// The same increment through `fetch_add` is atomic: every interleaving
+/// passes and the (tiny) schedule space is fully exhausted.
+#[test]
+fn passes_atomic_increment() {
+    let report = Builder::default().check(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let adder = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            adder.fetch_add(1, Ordering::SeqCst);
+        });
+        counter.fetch_add(1, Ordering::SeqCst);
+        t.join().ok();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete, "schedule space should be exhausted");
+    assert!(report.interleavings >= 2, "{}", report.interleavings);
+}
+
+/// A mutex-protected read-modify-write never loses updates.
+#[test]
+fn passes_mutex_protected_counter() {
+    let report = Builder::default().check(|| {
+        let counter = Arc::new(Mutex::new(0u64));
+        let other = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            let mut guard = other.lock().expect("poisoning is not modeled");
+            *guard += 1;
+        });
+        {
+            let mut guard = counter.lock().expect("poisoning is not modeled");
+            *guard += 1;
+        }
+        t.join().ok();
+        assert_eq!(*counter.lock().expect("poisoning is not modeled"), 2);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+}
+
+/// Classic AB-BA lock ordering: some interleaving deadlocks, and the
+/// scheduler must report it rather than hang.
+#[test]
+fn catches_lock_order_deadlock() {
+    let report = Builder::default().check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _b = b2.lock().expect("poisoning is not modeled");
+            let _a = a2.lock().expect("poisoning is not modeled");
+        });
+        let _a = a.lock().expect("poisoning is not modeled");
+        let _b = b.lock().expect("poisoning is not modeled");
+        drop((_a, _b));
+        t.join().ok();
+    });
+    let failure = report.failure.expect("the AB-BA deadlock must be found");
+    assert!(failure.message.contains("deadlock"), "{}", failure.message);
+}
+
+/// A flag-publish protocol with a yielding spin loop: the consumer must
+/// always observe the data the producer wrote before raising the flag
+/// (sequential consistency), and the spin loop must not hang exploration.
+#[test]
+fn passes_flag_publish_with_spin_wait() {
+    let report = Builder::default().check(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (data2, ready2) = (Arc::clone(&data), Arc::clone(&ready));
+        let t = thread::spawn(move || {
+            data2.store(42, Ordering::SeqCst);
+            ready2.store(true, Ordering::SeqCst);
+        });
+        while !ready.load(Ordering::SeqCst) {
+            thread::yield_now();
+        }
+        assert_eq!(data.load(Ordering::SeqCst), 42, "saw flag before data");
+        t.join().ok();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+    assert!(report.interleavings >= 3, "{}", report.interleavings);
+}
+
+/// The interleaving cap stops exploration early and says so.
+#[test]
+fn respects_interleaving_cap() {
+    let report = Builder::default().max_interleavings(5).check(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            for _ in 0..4 {
+                x2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..4 {
+            x.fetch_add(1, Ordering::SeqCst);
+        }
+        t.join().ok();
+    });
+    assert!(report.failure.is_none());
+    assert!(!report.complete, "cap must mark the run incomplete");
+    assert_eq!(report.interleavings, 5);
+}
+
+/// Three threads and a few preemptions generate a substantial,
+/// fully-exhausted schedule space — the scale the protocol models need.
+#[test]
+fn explores_many_interleavings() {
+    let report = Builder::default().preemption_bound(3).check(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let x = Arc::clone(&x);
+            handles.push(thread::spawn(move || {
+                for _ in 0..3 {
+                    x.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for _ in 0..3 {
+            x.fetch_add(1, Ordering::SeqCst);
+        }
+        for handle in handles {
+            handle.join().ok();
+        }
+        assert_eq!(x.load(Ordering::SeqCst), 9);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+    assert!(report.interleavings >= 1_000, "{}", report.interleavings);
+}
+
+/// `model()` itself panics with the counterexample, for use as a plain
+/// assertion inside tests.
+#[test]
+#[should_panic(expected = "model failed")]
+fn model_panics_on_violation() {
+    loom_lite::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+        });
+        assert_eq!(x.load(Ordering::SeqCst), 0, "racy read");
+        t.join().ok();
+    });
+}

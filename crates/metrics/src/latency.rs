@@ -52,6 +52,8 @@ impl LatencySeries {
             return 0.0;
         }
         let mut sorted = self.samples_secs.clone();
+        // PANIC-OK: samples come from Duration::as_secs_f64, which never
+        // yields NaN, so partial_cmp is total here.
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
         sorted[rank - 1]

@@ -31,6 +31,7 @@ pub mod ground_truth;
 pub mod latency;
 pub mod load;
 pub mod stats;
+pub mod sync;
 pub mod throughput;
 
 pub use error::{average_errors, relative_error, AverageErrors, OnArrivalError};

@@ -9,7 +9,7 @@
 //! impossible; [`LoadGauges`] groups the signals the control plane
 //! watches.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// A lock-free, shareable `f64` gauge: the last written value wins, reads
 /// never block.  Writes use release ordering and reads acquire, so a reader

@@ -1,0 +1,19 @@
+//! Synchronization-primitive indirection for model checking.
+//!
+//! Production builds (the default) re-export `std::sync` directly, so the
+//! abstraction costs nothing — `crate::sync::atomic::AtomicU64` *is*
+//! `std::sync::atomic::AtomicU64`.  With the `loom-lite` cargo feature the
+//! same names resolve to the modeled primitives of the `loom_lite`
+//! crate, whose scheduler exhaustively explores thread interleavings; that
+//! lets the real [`crate::load::Gauge`] / [`crate::load::LoadGauges`]
+//! types be compiled into an interleaving model unchanged:
+//!
+//! ```text
+//! cargo test -p salsa-metrics --features loom-lite
+//! ```
+
+#[cfg(feature = "loom-lite")]
+pub use loom_lite::sync::atomic;
+
+#[cfg(not(feature = "loom-lite"))]
+pub use std::sync::atomic;

@@ -42,6 +42,7 @@ impl Throughput {
     /// Elapsed wall-clock time (stops the measurement if still running).
     pub fn elapsed(&mut self) -> Duration {
         self.stop();
+        // PANIC-OK: `stop` on the line above guarantees `elapsed` is Some.
         self.elapsed.expect("stopped above")
     }
 

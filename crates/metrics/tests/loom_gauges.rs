@@ -1,0 +1,125 @@
+//! loom-lite interleaving models of the progress/gauge publish path.
+//!
+//! A shard worker publishes two counters after every batch — items
+//! `applied` and cumulative `busy` time — and lock-free readers (the load
+//! monitor, staleness accounting) pair them up to compute utilization.
+//! The protocol under check is the **publish order**: the writer must
+//! store `busy` *before* `applied`, and the reader must load `applied`
+//! *before* `busy`, so that any reader observing batch `k`'s item count
+//! also observes at least the busy time that produced it.  These models
+//! check the distilled protocol exhaustively; the real `Gauge` type is
+//! modeled under `--features loom-lite` (see the last test).
+
+use loom_lite::sync::atomic::{AtomicU64, Ordering};
+use loom_lite::sync::Arc;
+use loom_lite::{thread, Builder};
+
+/// Each batch `k` contributes `k` items and `10 * k` busy nanos, so after
+/// batch `k` the pair is `(applied, busy) = (1 + .. + k, 10 * (1 + .. + k))`:
+/// a consistent reading always satisfies `busy >= 10 * applied`.
+const BATCHES: u64 = 3;
+
+fn total(after: u64) -> u64 {
+    (1..=after).sum()
+}
+
+/// The fixed protocol: writer stores `busy` first, readers load `applied`
+/// first.  No interleaving can pair a new item count with stale busy time.
+/// Two concurrent readers model the load monitor and a staleness check
+/// sampling independently (and widen the schedule space past the 1,000
+/// interleavings the toolkit requires of its protocol models).
+#[test]
+fn gauge_publish_order_pairs_busy_with_applied() {
+    let report = Builder::default().preemption_bound(3).check(|| {
+        let applied = Arc::new(AtomicU64::new(0));
+        let busy = Arc::new(AtomicU64::new(0));
+        let (applied_w, busy_w) = (Arc::clone(&applied), Arc::clone(&busy));
+        let writer = thread::spawn(move || {
+            for k in 1..=BATCHES {
+                busy_w.store(10 * total(k), Ordering::Release);
+                applied_w.store(total(k), Ordering::Release);
+            }
+        });
+        let (applied_r, busy_r) = (Arc::clone(&applied), Arc::clone(&busy));
+        let monitor = thread::spawn(move || {
+            for _ in 0..2 {
+                let a = applied_r.load(Ordering::Acquire);
+                let b = busy_r.load(Ordering::Acquire);
+                assert!(
+                    b >= 10 * a,
+                    "monitor paired applied={a} with stale busy={b}"
+                );
+            }
+        });
+        for _ in 0..2 {
+            let a = applied.load(Ordering::Acquire);
+            let b = busy.load(Ordering::Acquire);
+            assert!(b >= 10 * a, "reader paired applied={a} with stale busy={b}");
+        }
+        writer.join().ok();
+        monitor.join().ok();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete, "schedule space must be exhausted");
+    assert!(report.interleavings >= 1_000, "{}", report.interleavings);
+}
+
+/// The publish order `sharded.rs` used before this toolkit existed:
+/// `applied` stored first.  The checker must find the interleaving where a
+/// reader pairs batch k's item count with batch k-1's busy time — the bug
+/// that made `shard_loads` overestimate utilization.
+#[test]
+fn checker_catches_applied_first_publish_order() {
+    let report = Builder::default().check(|| {
+        let applied = Arc::new(AtomicU64::new(0));
+        let busy = Arc::new(AtomicU64::new(0));
+        let (applied_w, busy_w) = (Arc::clone(&applied), Arc::clone(&busy));
+        let writer = thread::spawn(move || {
+            for k in 1..=BATCHES {
+                applied_w.store(total(k), Ordering::Release);
+                busy_w.store(10 * total(k), Ordering::Release);
+            }
+        });
+        let a = applied.load(Ordering::Acquire);
+        let b = busy.load(Ordering::Acquire);
+        assert!(b >= 10 * a, "stale busy paired with applied");
+        writer.join().ok();
+    });
+    let failure = report.failure.expect("the stale pairing must be found");
+    assert!(
+        failure.message.contains("stale busy"),
+        "{}",
+        failure.message
+    );
+}
+
+/// The real [`salsa_metrics::Gauge`] compiled against modeled atomics
+/// (`--features loom-lite` routes `crate::sync` to loom-lite): a reader
+/// that observes a gauge sample also observes everything the writer
+/// published before it.
+#[cfg(feature = "loom-lite")]
+#[test]
+fn real_gauge_type_publishes_consistently() {
+    use salsa_metrics::LoadGauges;
+
+    let report = Builder::default().check(|| {
+        let gauges = Arc::new(LoadGauges::new());
+        let writer_gauges = Arc::clone(&gauges);
+        let writer = thread::spawn(move || {
+            // `ingest_mops` is the "data", `shards` the flag-like sample
+            // written last: a reader seeing shards == 4 must see the rate.
+            writer_gauges.ingest_mops.set(31.25);
+            writer_gauges.shards.set(4.0);
+        });
+        if gauges.shards.get() == 4.0 {
+            assert_eq!(
+                gauges.ingest_mops.get(),
+                31.25,
+                "saw the shard sample without the rate published before it"
+            );
+        }
+        writer.join().ok();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+}

@@ -31,8 +31,9 @@
 //! [`ScalingPolicy`] implementations, and
 //! [`ElasticPipeline::autoscale`] for the closed loop.
 
-use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
+
+use crate::sync::{Arc, RwLock};
 
 use crate::live::{CachePolicy, CachedSnapshots, LiveHandle, SnapshotSource};
 use crate::policy::{LoadMonitor, ScalingPolicy};
@@ -173,6 +174,9 @@ impl<S: SnapshotableSketch> Drop for ElasticPipeline<S> {
     /// (After a normal [`ElasticPipeline::finish`] the shared state is
     /// already dark and this is a no-op.)
     fn drop(&mut self) {
+        // PANIC-OK: poisoning means a rescale/finish panicked mid-publish;
+        // the shared state is unknowable, and a panic inside Drop during
+        // that same unwind aborts anyway — nothing gentler exists here.
         let mut shared = self.shared.write().expect("elastic state lock poisoned");
         if let Some(live) = shared.live.take() {
             shared.base_epoch += SnapshotSource::acknowledged(&live);
@@ -208,10 +212,13 @@ impl<S: SnapshotableSketch> ElasticPipeline<S> {
     }
 
     fn inner(&self) -> &ShardedPipeline<S> {
+        // PANIC-OK: `inner` is only taken by `finish`, which consumes
+        // `self`, so no accessor can run afterwards (see the field docs).
         self.inner.as_ref().expect("pipeline is live until finish")
     }
 
     fn inner_mut(&mut self) -> &mut ShardedPipeline<S> {
+        // PANIC-OK: same invariant as `inner`.
         self.inner.as_mut().expect("pipeline is live until finish")
     }
 
@@ -307,6 +314,7 @@ impl<S: SnapshotableSketch> ElasticPipeline<S> {
         let old = self
             .inner
             .replace(fresh)
+            // PANIC-OK: same invariant as `inner` — only `finish` takes it.
             .expect("pipeline is live until finish");
 
         // The pause window: everything queued on the old workers is applied,
@@ -320,6 +328,9 @@ impl<S: SnapshotableSketch> ElasticPipeline<S> {
         let start_epoch = self.base_epoch;
         self.base_epoch += items;
         {
+            // PANIC-OK: writers (rescale/finish/drop) never panic while
+            // holding the lock short of a sketch-merge seed mismatch, which
+            // is already a programming error worth propagating.
             let mut shared = self.shared.write().expect("elastic state lock poisoned");
             // Fold the previous union into the freshly sealed generation
             // and publish the result as a *new* Arc: queries holding the
@@ -384,9 +395,11 @@ impl<S: SnapshotableSketch> ElasticPipeline<S> {
     /// ingestion.  The view sits exactly at epoch
     /// [`ElasticPipeline::pushed`]; for sum-merge rows its estimates are
     /// identical to an unsharded sketch over everything pushed so far.
+    #[must_use = "assembling a snapshot clones every shard's sketch; dropping it wastes that work"]
     pub fn snapshot(&mut self) -> SnapshotView<S> {
         let view = self.inner_mut().snapshot();
         let (sealed, generation) = {
+            // PANIC-OK: see the write-side justification in `rescale`.
             let shared = self.shared.read().expect("elastic state lock poisoned");
             (shared.sealed.clone(), shared.generation)
         };
@@ -405,10 +418,12 @@ impl<S: SnapshotableSketch> ElasticPipeline<S> {
         } = self
             .inner
             .take()
+            // PANIC-OK: `finish` consumes `self`, so it runs at most once.
             .expect("pipeline is live until finish")
             .finish();
         let start_epoch = self.base_epoch;
         self.base_epoch += items;
+        // PANIC-OK: see the write-side justification in `rescale`.
         let mut shared = self.shared.write().expect("elastic state lock poisoned");
         shared.live = None;
         shared.base_epoch = self.base_epoch;
@@ -487,6 +502,8 @@ impl<S: SnapshotableSketch> ElasticHandle<S> {
     /// Number of worker shards in the live generation, or `None` once the
     /// pipeline has finished.
     pub fn shards(&self) -> Option<usize> {
+        // PANIC-OK: see the write-side justification in
+        // `ElasticPipeline::rescale` — readers inherit it.
         let shared = self.shared.read().expect("elastic state lock poisoned");
         shared.live.as_ref().map(|live| live.shards())
     }
@@ -495,6 +512,7 @@ impl<S: SnapshotableSketch> ElasticHandle<S> {
     pub fn generation(&self) -> u64 {
         self.shared
             .read()
+            // PANIC-OK: same poisoning argument as `shards`.
             .expect("elastic state lock poisoned")
             .generation
     }
@@ -503,6 +521,7 @@ impl<S: SnapshotableSketch> ElasticHandle<S> {
     /// the live generation's applied items.  After the pipeline finishes
     /// this stays at the final item count.
     pub fn acknowledged(&self) -> u64 {
+        // PANIC-OK: same poisoning argument as `shards`.
         let shared = self.shared.read().expect("elastic state lock poisoned");
         shared.base_epoch
             + shared
@@ -519,9 +538,11 @@ impl<S: SnapshotableSketch> ElasticHandle<S> {
     /// across rescales.  A call that races a rescale retries against the
     /// new generation (blocking at most for the seal window).  Returns
     /// `None` once the pipeline has finished.
+    #[must_use = "assembling a snapshot clones every shard's sketch; dropping it wastes that work"]
     pub fn snapshot(&self) -> Option<SnapshotView<S>> {
         loop {
             let (live, sealed, base_epoch, generation) = {
+                // PANIC-OK: same poisoning argument as `shards`.
                 let shared = self.shared.read().expect("elastic state lock poisoned");
                 (
                     shared.live.as_ref()?.clone(),

@@ -86,6 +86,7 @@ pub mod live;
 pub mod policy;
 pub mod sharded;
 pub mod snapshot;
+pub mod sync;
 
 use salsa_core::merge::RowMerge;
 use salsa_core::traits::{Row, SignedRow};

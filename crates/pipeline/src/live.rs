@@ -10,10 +10,11 @@
 //! [`ShardStats::snapshot_secs`](crate::ShardStats::snapshot_secs) and
 //! bounded by [`SnapshotableSketch::clone_cost_bytes`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 
 use salsa_hash::BobHash;
 
@@ -104,6 +105,7 @@ impl<S: SnapshotableSketch> LiveHandle<S> {
     /// The epoch is the sum of the per-shard prefixes the view reflects;
     /// successive calls through one handle see non-decreasing epochs.
     /// Returns `None` once the pipeline has been finished.
+    #[must_use = "assembling a snapshot clones every shard's sketch; dropping it wastes that work"]
     pub fn snapshot(&self) -> Option<SnapshotView<S>> {
         let issued = Instant::now();
         // Request every shard before collecting any reply, so the per-shard
@@ -141,6 +143,7 @@ impl<S: SnapshotableSketch> LiveHandle<S> {
     /// under-estimates that key and is at most the full merged view's
     /// estimate (it sees only same-shard hash collisions, not the other
     /// shards') — a point-query fast path at a fraction of the clone cost.
+    #[must_use = "the snapshot clones the shard's sketch; dropping it wastes that work"]
     pub fn snapshot_shard(&self, shard: usize) -> Option<SnapshotView<S>> {
         let issued = Instant::now();
         let (reply_tx, reply_rx) = sync_channel(1);
@@ -281,11 +284,14 @@ impl<H: SnapshotSource<S>, S> CachedSnapshots<H, S> {
 
     /// Queries served from the cached view, across all clones.
     pub fn hits(&self) -> u64 {
+        // RELAXED-OK: a monotone statistics counter read on its own; no
+        // other memory is published through it, so no ordering is needed.
         self.state.hits.load(Ordering::Relaxed)
     }
 
     /// Queries that had to assemble a fresh view, across all clones.
     pub fn misses(&self) -> u64 {
+        // RELAXED-OK: same as `hits` — an isolated statistics counter.
         self.state.misses.load(Ordering::Relaxed)
     }
 
@@ -294,15 +300,21 @@ impl<H: SnapshotSource<S>, S> CachedSnapshots<H, S> {
     /// one.  After the pipeline finishes, a still-in-bounds cached view is
     /// served as usual (it is exact for the final stream up to its lag);
     /// once it expires, the entry is dropped and the call returns `None`.
+    #[must_use = "a cache miss assembles a full snapshot; dropping the view wastes that work"]
     pub fn snapshot(&self) -> Option<Arc<SnapshotView<S>>> {
         let mut cached = self
             .state
             .cached
             .lock()
+            // PANIC-OK: the lock only guards cache replacement (no user
+            // code runs under it), so poisoning means a peer clone
+            // panicked mid-assembly and the cache state is unknowable.
             .expect("snapshot cache lock poisoned");
         if let Some(view) = cached.as_ref() {
             let lag = self.source.acknowledged().saturating_sub(view.epoch());
             if view.staleness() <= self.policy.max_age && lag <= self.policy.max_lag_items {
+                // RELAXED-OK: statistics counter; the view itself is
+                // published by the cache mutex, not by this increment.
                 self.state.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(Arc::clone(view));
             }
@@ -312,6 +324,7 @@ impl<H: SnapshotSource<S>, S> CachedSnapshots<H, S> {
         // serve its result, which is the point of the cache.
         match self.source.snapshot() {
             Some(fresh) => {
+                // RELAXED-OK: statistics counter, as for `hits` above.
                 self.state.misses.fetch_add(1, Ordering::Relaxed);
                 let fresh = Arc::new(fresh);
                 *cached = Some(Arc::clone(&fresh));

@@ -24,10 +24,12 @@
 //!
 //! [`FrequencyEstimator::batch_update`]: salsa_sketches::estimator::FrequencyEstimator::batch_update
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
+
 use std::time::Instant;
 
 use salsa_hash::BobHash;
@@ -217,11 +219,20 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
                                     // handles can measure snapshot staleness
                                     // (and the load monitor queue depth and
                                     // utilization) without touching the hot
-                                    // path per item.
-                                    shard_progress.applied.store(stats.items, Ordering::Release);
+                                    // path per item.  `busy_nanos` goes first:
+                                    // `shard_loads` reads `applied` first with
+                                    // Acquire, so a reader that observes batch
+                                    // k's item count also observes (at least)
+                                    // the busy time that produced it — storing
+                                    // `applied` first let a reader pair a new
+                                    // item count with stale busy time and
+                                    // overestimate utilization.  The loom-lite
+                                    // model in tests/loom_models.rs checks
+                                    // exactly this pairing.
                                     shard_progress
                                         .busy_nanos
                                         .store(busy_nanos, Ordering::Release);
+                                    shard_progress.applied.store(stats.items, Ordering::Release);
                                 }
                                 Command::Snapshot(reply) => {
                                     let start = Instant::now();
@@ -244,6 +255,8 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
                         }
                         WorkerReport { sketch, stats }
                     })
+                    // PANIC-OK: spawn only fails on OS thread exhaustion,
+                    // which construction cannot recover from.
                     .expect("failed to spawn shard worker thread");
                 Worker { tx, handle }
             })
@@ -329,6 +342,9 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
         self.workers[shard]
             .tx
             .send(Command::Ingest(batch))
+            // PANIC-OK: workers only exit on Command::Stop, which `finish`
+            // sends after taking ownership; a dead worker here means it
+            // panicked, and the panic should propagate, not be swallowed.
             .expect("shard worker disappeared while the pipeline was running");
     }
 
@@ -378,10 +394,13 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
     /// [`ShardedPipeline::pushed`]**: for sum-merge rows its estimates are
     /// identical to an unsharded sketch over exactly the items pushed so
     /// far.  Ingestion resumes (or rather, never stopped) after the call.
+    #[must_use = "assembling a snapshot clones every shard's sketch; dropping it wastes that work"]
     pub fn snapshot(&mut self) -> SnapshotView<S> {
         self.flush();
         self.live_handle()
             .snapshot()
+            // PANIC-OK: `&mut self` proves `finish` has not run, so the
+            // workers are alive; `None` here means a worker panicked.
             .expect("workers are alive while the pipeline exists")
     }
 
@@ -400,12 +419,16 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
                 worker
                     .tx
                     .send(Command::Drain(tx))
+                    // PANIC-OK: same liveness argument as `dispatch` — a
+                    // dead worker is a panicked worker.
                     .expect("shard worker disappeared while the pipeline was running");
                 rx
             })
             .collect();
         for ack in acks {
             ack.recv()
+                // PANIC-OK: the worker acknowledges every Drain it receives;
+                // a dropped reply sender means the worker panicked mid-drain.
                 .expect("shard worker dropped a drain barrier without acknowledging it");
         }
         self.pushed
@@ -436,8 +459,11 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
                 worker
                     .tx
                     .send(Command::Stop)
+                    // PANIC-OK: same liveness argument as `dispatch`.
                     .expect("shard worker disappeared while the pipeline was running");
                 drop(worker.tx);
+                // PANIC-OK: join propagates a worker panic to the caller,
+                // as documented under "# Panics".
                 worker.handle.join().expect("shard worker thread panicked")
             })
             .collect();

@@ -1,0 +1,5 @@
+//! Bad fixture: a crate root without `#![forbid(...)]` on unsafe code.
+
+pub fn answer() -> u32 {
+    42
+}

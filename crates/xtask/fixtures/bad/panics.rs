@@ -1,0 +1,7 @@
+//! Bad fixture: an unproven panic and a stray stdio macro in library code.
+
+pub fn parse(input: &str) -> u32 {
+    let value = input.parse().unwrap();
+    println!("parsed {value}");
+    value
+}

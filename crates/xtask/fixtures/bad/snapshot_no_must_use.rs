@@ -1,0 +1,9 @@
+//! Bad fixture: a snapshot-returning public API without `#[must_use]`.
+
+pub struct SnapshotView {
+    pub epoch: u64,
+}
+
+pub fn snapshot() -> SnapshotView {
+    SnapshotView { epoch: 0 }
+}

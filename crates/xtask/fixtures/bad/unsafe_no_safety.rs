@@ -1,0 +1,5 @@
+//! Bad fixture: a raw-pointer block with no safety proof above it.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,29 @@
+//! Good fixture: every rule satisfied in one crate root.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct SnapshotView {
+    pub epoch: u64,
+}
+
+/// A statistics read that genuinely needs no ordering.
+pub fn hits(counter: &AtomicU64) -> u64 {
+    // RELAXED-OK: isolated monotone counter; nothing is published through it.
+    counter.load(Ordering::Relaxed)
+}
+
+/// A proven-infallible unwrap.
+pub fn first_digit() -> u32 {
+    // PANIC-OK: '7' is a digit, so to_digit is Some by construction.
+    '7'.to_digit(10).unwrap()
+}
+
+#[must_use = "snapshots are expensive to assemble"]
+pub fn snapshot(counter: &AtomicU64) -> SnapshotView {
+    SnapshotView {
+        // RELAXED-OK: fixture-only read, no cross-thread publication.
+        epoch: counter.load(Ordering::Relaxed),
+    }
+}

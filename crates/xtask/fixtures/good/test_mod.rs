@@ -1,0 +1,17 @@
+//! Good fixture: panics and stdio inside `#[cfg(test)]` are exempt.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles() {
+        let parsed: u32 = "21".parse().unwrap();
+        println!("checking {parsed}");
+        assert_eq!(double(parsed), 42);
+    }
+}

@@ -1,0 +1,8 @@
+//! Good fixture: an `unsafe` block carrying its safety argument.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assertion above guarantees the slice is non-empty, so
+    // the pointer read stays in bounds.
+    unsafe { *bytes.as_ptr() }
+}

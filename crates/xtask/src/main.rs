@@ -1,0 +1,472 @@
+//! Repository automation: `cargo run -p xtask -- lint` runs **salsa-lint**,
+//! a hand-rolled invariant pass over the workspace sources (no `syn`, no
+//! dependencies — a line/token scanner is enough for the invariants below
+//! and keeps the tool building offline).
+//!
+//! Enforced invariants:
+//!
+//! 1. **`unsafe` needs a proof** — every occurrence of the `unsafe` keyword
+//!    must have a `// SAFETY:` comment within the three preceding lines
+//!    (all scanned files).
+//! 2. **Crates declare their unsafety** — every `crates/*/src/lib.rs` must
+//!    carry `#![forbid(unsafe_code)]`.
+//! 3. **No bare `Ordering::Relaxed` on protocol state** — in the
+//!    concurrency-bearing crates (`pipeline`, `metrics`), a `Relaxed`
+//!    access must carry a `// RELAXED-OK:` proof of why no ordering is
+//!    needed; everything else uses Acquire/Release or stronger.
+//! 4. **No unproven panics or stray prints in library code** — in
+//!    `pipeline`, `metrics`, and `core`, `.unwrap()` / `.expect(` need a
+//!    `// PANIC-OK:` justification, and `println!` / `print!` /
+//!    `eprintln!` / `dbg!` are banned outright (library crates must not
+//!    write to stdio).
+//! 5. **Snapshots are `#[must_use]`** — a `pub fn` in `crates/pipeline/src`
+//!    whose return type mentions `SnapshotView` must be `#[must_use]`
+//!    (assembling one clones every shard's sketch).
+//!
+//! `#[cfg(test)]` modules are skipped (rules 3–5; rule 1 applies
+//! everywhere).  In tree mode (no file arguments) only `crates/*/src` is
+//! scanned and the per-crate scopes above apply; with explicit file
+//! arguments every rule is applied to every named file, which is what the
+//! fixture self-tests use.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One rule violation, printed as `file:line: [rule] message`.
+#[derive(Debug)]
+struct Finding {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+/// Which path-scoped rules apply to a file.
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    /// Rule 3: `Ordering::Relaxed` needs `// RELAXED-OK:`.
+    relaxed: bool,
+    /// Rule 4: panics need `// PANIC-OK:`, stdio macros are banned.
+    panics: bool,
+    /// Rule 5: snapshot-returning `pub fn` needs `#[must_use]`.
+    must_use: bool,
+    /// Rule 2: this file is a crate root that must forbid unsafe code.
+    crate_root: bool,
+}
+
+impl Scope {
+    /// Every rule on: the strict mode used for explicit file arguments.
+    fn strict(path: &Path) -> Self {
+        Self {
+            relaxed: true,
+            panics: true,
+            must_use: true,
+            crate_root: path.file_name().is_some_and(|n| n == "lib.rs"),
+        }
+    }
+
+    /// Tree-mode scope, derived from the workspace-relative path.
+    fn for_tree_path(path: &Path) -> Self {
+        let normalized = path.to_string_lossy().replace('\\', "/");
+        let in_crate = |name: &str| normalized.contains(&format!("crates/{name}/src/"));
+        Self {
+            relaxed: in_crate("pipeline") || in_crate("metrics"),
+            panics: in_crate("pipeline") || in_crate("metrics") || in_crate("core"),
+            must_use: in_crate("pipeline"),
+            crate_root: normalized.contains("crates/") && normalized.ends_with("/src/lib.rs"),
+        }
+    }
+}
+
+/// The `unsafe` keyword, assembled so the scanner's own source never
+/// contains the contiguous token (the tree scan includes this file).
+fn unsafe_keyword() -> &'static str {
+    concat!("un", "safe")
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `text` contains `token` delimited by non-word bytes — i.e. as a
+/// standalone keyword/macro, not as a fragment of a longer identifier
+/// (`unsafe_code` for rule 1, `eprintln!` vs `println!` for rule 4).
+fn has_token(text: &str, token: &str) -> bool {
+    let t = text.as_bytes();
+    let k = token.as_bytes();
+    if k.is_empty() || t.len() < k.len() {
+        return false;
+    }
+    for p in 0..=t.len() - k.len() {
+        if &t[p..p + k.len()] == k {
+            let before_ok = p == 0 || !is_word_byte(t[p - 1]);
+            let after = p + k.len();
+            let after_ok = after >= t.len() || !is_word_byte(t[after]);
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Removes string-literal contents and line comments, so token rules don't
+/// fire on text inside `"…"` or after `//`.  (Char literals and raw
+/// strings are not handled — good enough for this workspace's style.)
+fn strip_code(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(ch) = chars.next() {
+        if in_string {
+            match ch {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_string = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_string = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Marks every line that belongs to a `#[cfg(test)]`-gated item, by brace
+/// counting from the attribute to the item's closing brace.
+fn test_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !strip_code(lines[i]).contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for ch in strip_code(lines[j]).chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Whether line `idx` or any of the three raw lines above it carries the
+/// annotation marker (markers live in comments, so raw lines are checked).
+fn has_annotation(lines: &[&str], idx: usize, marker: &str) -> bool {
+    let start = idx.saturating_sub(3);
+    lines[start..=idx].iter().any(|line| line.contains(marker))
+}
+
+/// Scans one file's source and appends findings.
+fn scan_source(path_label: &str, source: &str, scope: Scope, findings: &mut Vec<Finding>) {
+    let lines: Vec<&str> = source.lines().collect();
+    let mask = test_mask(&lines);
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        findings.push(Finding {
+            file: path_label.to_string(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    };
+
+    if scope.crate_root && !source.contains("#![forbid(unsafe_code)]") {
+        push(
+            0,
+            "forbid-unsafe",
+            "crate root must declare #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let code = strip_code(raw);
+        // Rule 1 applies even inside test modules: a test's soundness
+        // argument is as load-bearing as a library's.
+        if has_token(&code, unsafe_keyword()) && !has_annotation(&lines, idx, "// SAFETY:") {
+            push(
+                idx,
+                "safety-comment",
+                format!("`{}` without a // SAFETY: comment", unsafe_keyword()),
+            );
+        }
+        if mask[idx] {
+            continue;
+        }
+        if scope.relaxed
+            && code.contains("Ordering::Relaxed")
+            && !has_annotation(&lines, idx, "// RELAXED-OK:")
+        {
+            push(
+                idx,
+                "bare-relaxed",
+                "Ordering::Relaxed without a // RELAXED-OK: proof".to_string(),
+            );
+        }
+        if scope.panics {
+            for needle in [".unwrap()", ".expect("] {
+                if code.contains(needle) && !has_annotation(&lines, idx, "// PANIC-OK:") {
+                    push(
+                        idx,
+                        "unproven-panic",
+                        format!("{needle} without a // PANIC-OK: justification"),
+                    );
+                }
+            }
+            for banned in ["println!", "print!", "eprintln!", "eprint!", "dbg!"] {
+                if has_token(&code, banned) {
+                    push(idx, "stdio-in-library", format!("{banned} in library code"));
+                }
+            }
+        }
+        if scope.must_use && code.contains("pub fn") {
+            // Join the signature until its body/terminator to catch
+            // multi-line return types.
+            let mut signature = String::new();
+            for sig_line in lines.iter().skip(idx).take(8) {
+                let sig_code = strip_code(sig_line);
+                signature.push_str(&sig_code);
+                signature.push(' ');
+                if sig_code.contains('{') || sig_code.contains(';') {
+                    break;
+                }
+            }
+            let returns_snapshot = signature
+                .split_once("->")
+                .is_some_and(|(_, ret)| ret.contains("SnapshotView"));
+            if returns_snapshot && !preceded_by_must_use(&lines, idx) {
+                push(
+                    idx,
+                    "snapshot-must-use",
+                    "pub fn returning SnapshotView without #[must_use]".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Walks backwards over the attribute/doc lines directly above a `fn` and
+/// reports whether one of them is `#[must_use…]`.
+fn preceded_by_must_use(lines: &[&str], fn_idx: usize) -> bool {
+    for idx in (0..fn_idx).rev() {
+        let trimmed = lines[idx].trim_start();
+        if trimmed.starts_with("#[") || trimmed.starts_with("//") {
+            if trimmed.starts_with("#[must_use") {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// Directories never scanned in tree mode: build output, vendored stand-ins
+/// (external idiom, not ours to lint), and the lint's own bad-on-purpose
+/// fixtures.
+const SKIPPED_DIRS: [&str; 3] = ["target", "vendor", "fixtures"];
+
+fn collect_tree_files(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if SKIPPED_DIRS.iter().any(|skip| name == *skip) {
+                continue;
+            }
+            collect_tree_files(&path, files)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            let normalized = path.to_string_lossy().replace('\\', "/");
+            // Library sources only: integration tests and benches make
+            // their own rules.
+            if normalized.contains("/src/") {
+                files.push(path);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lints every library source under `<workspace>/crates`.
+fn lint_tree(workspace: &Path) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    collect_tree_files(&workspace.join("crates"), &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in &files {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let label = path
+            .strip_prefix(workspace)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scan_source(&label, &source, Scope::for_tree_path(path), &mut findings);
+    }
+    Ok(findings)
+}
+
+/// Lints explicitly named files with every rule enabled.
+fn lint_files(paths: &[String]) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for raw in paths {
+        let path = Path::new(raw);
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        scan_source(raw, &source, Scope::strict(path), &mut findings);
+    }
+    Ok(findings)
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask always lives at <workspace>/crates/xtask.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("lint") {
+        eprintln!("usage: cargo run -p xtask -- lint [files...]");
+        eprintln!("  no files: lint every library source under crates/");
+        eprintln!("  with files: apply every rule to each named file");
+        return ExitCode::from(2);
+    }
+    let result = if args.len() > 1 {
+        lint_files(&args[1..])
+    } else {
+        lint_tree(&workspace_root())
+    };
+    let findings = match result {
+        Ok(findings) => findings,
+        Err(message) => {
+            eprintln!("salsa-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &findings {
+        eprintln!(
+            "{}:{}: [{}] {}",
+            finding.file, finding.line, finding.rule, finding.message
+        );
+    }
+    if findings.is_empty() {
+        eprintln!("salsa-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("salsa-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(rel: &str) -> String {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(rel)
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn strict_findings(rel: &str) -> Vec<Finding> {
+        lint_files(&[fixture(rel)]).expect("fixture must be readable")
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn bad_fixtures_each_trip_their_rule() {
+        assert!(rules(&strict_findings("bad/unsafe_no_safety.rs")).contains(&"safety-comment"));
+        assert!(rules(&strict_findings("bad/missing_forbid/lib.rs")).contains(&"forbid-unsafe"));
+        assert!(rules(&strict_findings("bad/bare_relaxed.rs")).contains(&"bare-relaxed"));
+        let panics = strict_findings("bad/panics.rs");
+        assert!(rules(&panics).contains(&"unproven-panic"));
+        assert!(rules(&panics).contains(&"stdio-in-library"));
+        assert!(
+            rules(&strict_findings("bad/snapshot_no_must_use.rs")).contains(&"snapshot-must-use")
+        );
+    }
+
+    #[test]
+    fn good_fixtures_are_clean() {
+        for rel in ["good/lib.rs", "good/unsafe_ok.rs", "good/test_mod.rs"] {
+            let findings = strict_findings(rel);
+            assert!(findings.is_empty(), "{rel}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn tree_scan_of_this_workspace_is_clean() {
+        let findings = lint_tree(&workspace_root()).expect("workspace must be readable");
+        assert!(
+            findings.is_empty(),
+            "the tree must lint clean: {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn token_matching_respects_word_boundaries() {
+        assert!(has_token("call println!(..)", "println!"));
+        assert!(!has_token("call eprintln!(..)", "println!"));
+        assert!(has_token(
+            &format!("{} fn f()", unsafe_keyword()),
+            unsafe_keyword()
+        ));
+        assert!(!has_token("#![forbid(unsafe_code)]", unsafe_keyword()));
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        assert_eq!(
+            strip_code(r#"let s = ".unwrap()"; // .expect("#),
+            r#"let s = ""; "#
+        );
+        assert!(!strip_code("// Ordering::Relaxed").contains("Relaxed"));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_the_gated_block() {
+        let source = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let lines: Vec<&str> = source.lines().collect();
+        let mask = test_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+}
