@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use salsa_bench::*;
 use salsa_core::traits::MergeOp;
 use salsa_metrics::{mops_for, LatencySeries, StalenessTracker};
-use salsa_pipeline::{PipelineConfig, ShardedPipeline, SnapshotableSketch};
+use salsa_pipeline::{PipelineConfig, ShardedPipeline, SnapshotSummary};
 use salsa_sketches::prelude::*;
 use salsa_workloads::TraceSpec;
 
@@ -159,7 +159,7 @@ fn main() {
 
         if qps == 0 {
             // Sanity context for the snapshot cost model, printed once.
-            let per_snapshot = SnapshotableSketch::clone_cost_bytes(&out.merged) * shards;
+            let per_snapshot = SnapshotSummary::clone_cost_bytes(&out.merged) * shards;
             eprintln!("snapshot clone cost: {per_snapshot} bytes across {shards} shards");
         }
     }

@@ -87,7 +87,7 @@ fn main() {
     for partition in [Partition::ByKey, Partition::RoundRobin] {
         let mut one_shard_scaled = f64::NAN;
         for &shards in shard_counts {
-            let config = PipelineConfig::new(shards).with_partition(partition);
+            let config = PipelineConfig::new(shards).partition(partition);
             let mut wall = Throughput::start();
             let out = run_sharded(&config, make(args.seed), &items);
             wall.add_ops(items.len() as u64);

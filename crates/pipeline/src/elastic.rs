@@ -7,14 +7,14 @@
 //!
 //! 1. **Generations.**  At any moment one worker set (a `ShardedPipeline`)
 //!    ingests; it is *generation `g`*.  On a rescale the current workers
-//!    are drained and stopped, their shard sketches are folded counter-wise
-//!    into the immutable **sealed** sketch (the union of all previous
+//!    are drained and stopped, their shard summaries are folded counter-wise
+//!    into the immutable **sealed** summary (the union of all previous
 //!    generations, Section V mergeability), and a fresh worker set with the
 //!    new shard count — and new by-key routing over that count — starts
 //!    from empty sketches as generation `g + 1`.
 //! 2. **Queries.**  A view is always `sealed ⊎ live`: sealed generations
 //!    merged with clones of the live shards via
-//!    [`SnapshotableSketch::merge_into_new`].  For sum-merge rows the
+//!    [`SnapshotSummary::merge_into_new`].  For sum-merge rows the
 //!    counter-wise union over *any* split of the stream equals the
 //!    unsharded sketch, so the merged view is byte-identical to a run that
 //!    never rescaled — no counts are lost or double-counted, regardless of
@@ -39,11 +39,11 @@ use crate::live::{CachePolicy, CachedSnapshots, LiveHandle, SnapshotSource};
 use crate::policy::{LoadMonitor, ScalingPolicy};
 use crate::sharded::{PipelineOutput, ShardLoad, ShardStats, ShardedPipeline};
 use crate::snapshot::SnapshotView;
-use crate::{PipelineConfig, SnapshotableSketch};
+use crate::{FrequencyQueries, PipelineConfig, SnapshotSummary};
 
 /// State shared between the producer and every [`ElasticHandle`], swapped
 /// under a write lock at each rescale.
-struct Shared<S: SnapshotableSketch> {
+struct Shared<S: SnapshotSummary> {
     /// Counter-wise union of every sealed generation (`None` before the
     /// first rescale).  Behind an `Arc` and rebuilt — never mutated — at
     /// each seal, so a query clones a pointer under the read lock instead
@@ -71,7 +71,7 @@ pub struct GenerationInfo {
     pub start_epoch: u64,
     /// Global epoch at which it was sealed (`start_epoch + items`).
     pub end_epoch: u64,
-    /// How long sealing took (drain + stop + fold into the sealed sketch):
+    /// How long sealing took (drain + stop + fold into the sealed summary):
     /// the window during which concurrent queries block or retry — the
     /// rescale "pause".  Zero for the final generation, which is sealed by
     /// [`ElasticPipeline::finish`] with nothing left to serve.
@@ -142,12 +142,12 @@ impl<S> ElasticOutput<S> {
 /// via generation-based resharding (see the module docs for the model).
 ///
 /// Build one with [`ElasticPipeline::new`] — the `factory` must produce
-/// same-seed, same-shape sketches and is re-invoked for every generation's
+/// same-seed, same-shape summaries and is re-invoked for every generation's
 /// workers.  Feed it like a [`ShardedPipeline`]; call
 /// [`ElasticPipeline::rescale`] (or [`ElasticPipeline::autoscale`] with a
 /// policy) at any point; query it concurrently through
 /// [`ElasticPipeline::handle`]; finish with [`ElasticPipeline::finish`].
-pub struct ElasticPipeline<S: SnapshotableSketch> {
+pub struct ElasticPipeline<S: SnapshotSummary> {
     /// The live generation's worker set.  `Some` for the pipeline's whole
     /// life; taken only by [`ElasticPipeline::finish`] (which consumes
     /// `self`), so the accessors' expects cannot fire.
@@ -162,7 +162,7 @@ pub struct ElasticPipeline<S: SnapshotableSketch> {
     events: Vec<RescaleEvent>,
 }
 
-impl<S: SnapshotableSketch> Drop for ElasticPipeline<S> {
+impl<S: SnapshotSummary> Drop for ElasticPipeline<S> {
     /// Darkens outstanding handles if the pipeline is dropped without
     /// [`ElasticPipeline::finish`]: the inner workers exit when their
     /// channels close, so without this a concurrent
@@ -184,7 +184,7 @@ impl<S: SnapshotableSketch> Drop for ElasticPipeline<S> {
     }
 }
 
-impl<S: SnapshotableSketch> ElasticPipeline<S> {
+impl<S: SnapshotSummary> ElasticPipeline<S> {
     /// Creates the pipeline with `config.shards` initial workers.
     ///
     /// `factory` is called once per shard *per generation* (with the shard
@@ -295,7 +295,7 @@ impl<S: SnapshotableSketch> ElasticPipeline<S> {
     ///
     /// 1. spawns the new generation's workers (so they boot while the old
     ///    ones drain),
-    /// 2. drains and stops the old workers, folding their sketches into
+    /// 2. drains and stops the old workers, folding their summaries into
     ///    the sealed union — the *pause window*, during which concurrent
     ///    [`ElasticHandle`] queries keep the old generation's answers and
     ///    then retry against the new one,
@@ -329,7 +329,7 @@ impl<S: SnapshotableSketch> ElasticPipeline<S> {
         self.base_epoch += items;
         {
             // PANIC-OK: writers (rescale/finish/drop) never panic while
-            // holding the lock short of a sketch-merge seed mismatch, which
+            // holding the lock short of a summary-merge seed mismatch, which
             // is already a programming error worth propagating.
             let mut shared = self.shared.write().expect("elastic state lock poisoned");
             // Fold the previous union into the freshly sealed generation
@@ -395,7 +395,7 @@ impl<S: SnapshotableSketch> ElasticPipeline<S> {
     /// ingestion.  The view sits exactly at epoch
     /// [`ElasticPipeline::pushed`]; for sum-merge rows its estimates are
     /// identical to an unsharded sketch over everything pushed so far.
-    #[must_use = "assembling a snapshot clones every shard's sketch; dropping it wastes that work"]
+    #[must_use = "assembling a snapshot clones every shard's summary; dropping it wastes that work"]
     pub fn snapshot(&mut self) -> SnapshotView<S> {
         let view = self.inner_mut().snapshot();
         let (sealed, generation) = {
@@ -455,9 +455,9 @@ impl<S: SnapshotableSketch> ElasticPipeline<S> {
 }
 
 /// Folds the sealed union into a live view and re-stamps its epoch and
-/// generation.  The live merged sketch is owned, so the fold is a single
-/// counter-wise merge — no sketch is cloned here.
-fn rebase<S: SnapshotableSketch>(
+/// generation.  The live merged summary is owned, so the fold is a single
+/// counter-wise merge — no summary is cloned here.
+fn rebase<S: SnapshotSummary>(
     view: SnapshotView<S>,
     sealed: Option<Arc<S>>,
     base_epoch: u64,
@@ -486,11 +486,11 @@ fn rebase<S: SnapshotableSketch>(
 /// successive epochs never decrease (sealing converts live progress into
 /// sealed base, it never shrinks the sum).  Queries return `None` only
 /// after [`ElasticPipeline::finish`].
-pub struct ElasticHandle<S: SnapshotableSketch> {
+pub struct ElasticHandle<S: SnapshotSummary> {
     shared: Arc<RwLock<Shared<S>>>,
 }
 
-impl<S: SnapshotableSketch> Clone for ElasticHandle<S> {
+impl<S: SnapshotSummary> Clone for ElasticHandle<S> {
     fn clone(&self) -> Self {
         Self {
             shared: Arc::clone(&self.shared),
@@ -498,7 +498,7 @@ impl<S: SnapshotableSketch> Clone for ElasticHandle<S> {
     }
 }
 
-impl<S: SnapshotableSketch> ElasticHandle<S> {
+impl<S: SnapshotSummary> ElasticHandle<S> {
     /// Number of worker shards in the live generation, or `None` once the
     /// pipeline has finished.
     pub fn shards(&self) -> Option<usize> {
@@ -538,7 +538,7 @@ impl<S: SnapshotableSketch> ElasticHandle<S> {
     /// across rescales.  A call that races a rescale retries against the
     /// new generation (blocking at most for the seal window).  Returns
     /// `None` once the pipeline has finished.
-    #[must_use = "assembling a snapshot clones every shard's sketch; dropping it wastes that work"]
+    #[must_use = "assembling a snapshot clones every shard's summary; dropping it wastes that work"]
     pub fn snapshot(&self) -> Option<SnapshotView<S>> {
         loop {
             let (live, sealed, base_epoch, generation) = {
@@ -564,14 +564,6 @@ impl<S: SnapshotableSketch> ElasticHandle<S> {
         }
     }
 
-    /// Estimates the frequency of `item` over the whole stream, from a
-    /// fresh snapshot.  (Across generations there is no single owning
-    /// shard, so no single-shard fast path exists — use a
-    /// [`CachedSnapshots`] layer to amortize the snapshot cost instead.)
-    pub fn estimate(&self, item: u64) -> Option<i64> {
-        Some(self.snapshot()?.estimate(item))
-    }
-
     /// Wraps this handle in a [`CachedSnapshots`] layer (see
     /// [`LiveHandle::cached`]); the cache carries over rescales because the
     /// handle does.
@@ -580,7 +572,17 @@ impl<S: SnapshotableSketch> ElasticHandle<S> {
     }
 }
 
-impl<S: SnapshotableSketch> SnapshotSource<S> for ElasticHandle<S> {
+impl<S: SnapshotSummary + FrequencyQueries> ElasticHandle<S> {
+    /// Estimates the frequency of `item` over the whole stream, from a
+    /// fresh snapshot.  (Across generations there is no single owning
+    /// shard, so no single-shard fast path exists — use a
+    /// [`CachedSnapshots`] layer to amortize the snapshot cost instead.)
+    pub fn estimate(&self, item: u64) -> Option<i64> {
+        Some(self.snapshot()?.estimate(item))
+    }
+}
+
+impl<S: SnapshotSummary> SnapshotSource<S> for ElasticHandle<S> {
     fn snapshot(&self) -> Option<SnapshotView<S>> {
         ElasticHandle::snapshot(self)
     }
@@ -621,7 +623,7 @@ mod tests {
     #[test]
     fn rescale_preserves_sum_merge_exactness() {
         let items = stream(30_000, 500, 3);
-        let config = PipelineConfig::new(1).with_batch_size(64);
+        let config = PipelineConfig::new(1).batch_size(64);
         let mut pipeline = ElasticPipeline::new(&config, make());
         pipeline.extend(&items[..10_000]);
         let grown = pipeline.rescale(4).expect("1 -> 4 is a real rescale");
@@ -658,8 +660,7 @@ mod tests {
     #[test]
     fn producer_snapshot_covers_all_generations_at_pushed_epoch() {
         let items = stream(12_000, 300, 7);
-        let mut pipeline =
-            ElasticPipeline::new(&PipelineConfig::new(2).with_batch_size(128), make());
+        let mut pipeline = ElasticPipeline::new(&PipelineConfig::new(2).batch_size(128), make());
         pipeline.extend(&items[..5_000]);
         pipeline.rescale(3);
         pipeline.extend(&items[5_000..9_000]);
@@ -677,8 +678,7 @@ mod tests {
     #[test]
     fn handle_survives_rescales_and_goes_dark_after_finish() {
         let items = stream(8_000, 200, 9);
-        let mut pipeline =
-            ElasticPipeline::new(&PipelineConfig::new(1).with_batch_size(64), make());
+        let mut pipeline = ElasticPipeline::new(&PipelineConfig::new(1).batch_size(64), make());
         let handle = pipeline.handle();
         pipeline.extend(&items[..4_000]);
         let before = handle.snapshot().expect("live before rescale");
@@ -702,8 +702,7 @@ mod tests {
 
     #[test]
     fn dropping_without_finish_darkens_handles() {
-        let mut pipeline =
-            ElasticPipeline::new(&PipelineConfig::new(2).with_batch_size(32), make());
+        let mut pipeline = ElasticPipeline::new(&PipelineConfig::new(2).batch_size(32), make());
         pipeline.extend(&stream(2_000, 100, 13));
         pipeline.drain();
         let handle = pipeline.handle();
@@ -723,8 +722,7 @@ mod tests {
     #[test]
     fn generation_history_partitions_the_stream() {
         let items = stream(9_000, 150, 11);
-        let mut pipeline =
-            ElasticPipeline::new(&PipelineConfig::new(2).with_batch_size(32), make());
+        let mut pipeline = ElasticPipeline::new(&PipelineConfig::new(2).batch_size(32), make());
         pipeline.extend(&items[..3_000]);
         pipeline.rescale(4);
         pipeline.extend(&items[3_000..7_500]);

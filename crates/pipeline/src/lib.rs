@@ -7,13 +7,19 @@
 //! fold into a single queryable global view.  This crate turns that
 //! observation into an ingestion layer:
 //!
+//! * The transport is bound only to the minimal [`StreamSummary`] contract
+//!   (*ingest a batch, merge counter-wise*) — anything a summary can be
+//!   **queried** for lives in capability traits ([`FrequencyQueries`],
+//!   [`DistinctQueries`], [`UniversalQueries`], [`TrackedQueries`]) that the
+//!   snapshot/handle types expose only when the summary supports them.  So
+//!   the same machinery shards CMS/CUS/CS frequency sketches, UnivMon
+//!   universal statistics, and pure distinct counters.
 //! * [`ShardedPipeline`] partitions an item stream across `N` worker shards
-//!   (each a `std::thread` owning its own sketch), feeds each shard in
-//!   configurable batches through the sketches' batched-update hot path
-//!   ([`FrequencyEstimator::batch_update`]), and on
-//!   [`ShardedPipeline::finish`] merges the shard sketches into one
-//!   [`PipelineOutput`] whose `merged` sketch answers frequency queries for
-//!   the whole stream.
+//!   (each a `std::thread` owning its own summary), feeds each shard in
+//!   configurable batches through [`StreamSummary::ingest`], and on
+//!   [`ShardedPipeline::finish`] merges the shard summaries into one
+//!   [`PipelineOutput`] whose `merged` summary answers queries for the
+//!   whole stream.
 //! * [`Partition::ByKey`] routes every key to one shard via an independent
 //!   router hash, so each shard holds its keys' *entire* sub-stream.  With
 //!   sum-merge rows the merged view is then **identical** to the sketch a
@@ -29,7 +35,7 @@
 //!   [`SnapshotView`] by merging per-shard sketch clones, and
 //!   [`ShardedPipeline::live_handle`] hands out clonable [`LiveHandle`]s
 //!   that snapshot and query from other threads without stopping the
-//!   workers (a [`SnapshotableSketch`] clone per shard is the entire cost).
+//!   workers (a [`SnapshotSummary`] clone per shard is the entire cost).
 //!   A [`CachedSnapshots`] layer re-serves one assembled view within a
 //!   configurable staleness budget, so high query rates don't multiply the
 //!   clone cost.
@@ -77,6 +83,23 @@
 //! let out = pipeline.finish();
 //! assert_eq!(out.merged.estimate(42), 52);
 //! ```
+//!
+//! Beyond frequency sketches — the same pipeline shards UnivMon and serves
+//! entropy from a live snapshot:
+//!
+//! ```
+//! use salsa_pipeline::{PipelineConfig, ShardedPipeline};
+//! use salsa_sketches::prelude::*;
+//!
+//! let make = |_shard: usize| UnivMon::salsa(8, 5, 1 << 10, 8, 100, 7);
+//! let mut pipeline = ShardedPipeline::new(&PipelineConfig::new(2), make);
+//! pipeline.extend(&(0..4_000u64).map(|i| i % 64).collect::<Vec<_>>());
+//!
+//! let view = pipeline.snapshot();
+//! let entropy = view.entropy(); // ≈ log2(64) for this uniform stream
+//! assert!((entropy - 6.0).abs() < 0.5);
+//! let _out = pipeline.finish();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,121 +109,26 @@ pub mod live;
 pub mod policy;
 pub mod sharded;
 pub mod snapshot;
+pub mod summary;
 pub mod sync;
-
-use salsa_core::merge::RowMerge;
-use salsa_core::traits::{Row, SignedRow};
-use salsa_sketches::cms::CountMin;
-use salsa_sketches::cs::CountSketch;
-use salsa_sketches::cus::ConservativeUpdate;
-use salsa_sketches::estimator::FrequencyEstimator;
 
 pub use elastic::{ElasticHandle, ElasticOutput, ElasticPipeline, GenerationInfo, RescaleEvent};
 pub use live::{CachePolicy, CachedSnapshots, LiveHandle, SnapshotSource};
 pub use policy::{LoadMonitor, LoadSnapshot, Manual, ScalingPolicy, Threshold};
 pub use sharded::{run_sharded, PipelineOutput, ShardLoad, ShardStats, ShardedPipeline};
 pub use snapshot::SnapshotView;
+pub use summary::{
+    DistinctQueries, FrequencyQueries, SnapshotSummary, StreamSummary, Tracked, TrackedQueries,
+    UniversalQueries,
+};
+#[allow(deprecated)] // re-exported for one release so old imports keep working
+pub use summary::{MergeableSketch, SnapshotableSketch};
 
 /// Default seed of the router hash.  It is fixed (and distinct from typical
 /// sketch seeds) so that routing is independent of the row hash functions:
 /// correlating the two would funnel each shard's keys into a biased subset
 /// of each row's buckets.
 pub const DEFAULT_ROUTER_SEED: u64 = 0x5A15_A0DE_57A6_ED01;
-
-/// A frequency estimator whose same-seed, same-shape instances can be
-/// combined counter-wise into a sketch of the union stream.
-///
-/// This is the contract a sketch must satisfy to run sharded: it must be
-/// movable onto a worker thread (`Send + 'static`) and mergeable at the
-/// sketch level.  Implementations enforce the "same hash functions, same
-/// shape" precondition themselves and panic on mismatch.
-pub trait MergeableSketch: FrequencyEstimator + Send + 'static {
-    /// Counter-wise merges `other` into `self`, so that `self` afterwards
-    /// summarizes the union of the two input streams.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the operands were built with different seeds or shapes.
-    fn merge_from(&mut self, other: &Self);
-}
-
-impl<R> MergeableSketch for CountMin<R>
-where
-    R: Row + RowMerge + Send + 'static,
-{
-    fn merge_from(&mut self, other: &Self) {
-        CountMin::merge_from(self, other);
-    }
-}
-
-impl<R> MergeableSketch for ConservativeUpdate<R>
-where
-    R: Row + RowMerge + Send + 'static,
-{
-    fn merge_from(&mut self, other: &Self) {
-        ConservativeUpdate::merge_from(self, other);
-    }
-}
-
-impl<S> MergeableSketch for CountSketch<S>
-where
-    S: SignedRow + RowMerge + Send + 'static,
-{
-    fn merge_from(&mut self, other: &Self) {
-        CountSketch::merge_from(self, other);
-    }
-}
-
-/// A [`MergeableSketch`] that can additionally serve live queries: cloning
-/// it is cheap and bounded (a flat copy of its counter storage), so a shard
-/// worker can produce a point-in-time copy on demand without stalling
-/// ingestion for longer than one memcpy.
-///
-/// This is the contract behind [`ShardedPipeline::snapshot`] and
-/// [`LiveHandle`]: snapshots are assembled by cloning each shard's sketch
-/// and folding the clones counter-wise, leaving the live sketches untouched.
-pub trait SnapshotableSketch: MergeableSketch + Clone {
-    /// Bytes copied per clone — the cost one snapshot imposes on each
-    /// shard.  Implementations report their counter storage plus encoding
-    /// metadata (see `Row::clone_cost_bytes` in `salsa-core`).
-    fn clone_cost_bytes(&self) -> usize;
-
-    /// Counter-wise merges two sketches into a *new* one, leaving both
-    /// operands untouched — the snapshot-assembly primitive.  Same
-    /// seed/shape contract as [`MergeableSketch::merge_from`].
-    fn merge_into_new(&self, other: &Self) -> Self {
-        let mut merged = self.clone();
-        merged.merge_from(other);
-        merged
-    }
-}
-
-impl<R> SnapshotableSketch for CountMin<R>
-where
-    R: Row + RowMerge + Clone + Send + 'static,
-{
-    fn clone_cost_bytes(&self) -> usize {
-        CountMin::clone_cost_bytes(self)
-    }
-}
-
-impl<R> SnapshotableSketch for ConservativeUpdate<R>
-where
-    R: Row + RowMerge + Clone + Send + 'static,
-{
-    fn clone_cost_bytes(&self) -> usize {
-        ConservativeUpdate::clone_cost_bytes(self)
-    }
-}
-
-impl<S> SnapshotableSketch for CountSketch<S>
-where
-    S: SignedRow + RowMerge + Clone + Send + 'static,
-{
-    fn clone_cost_bytes(&self) -> usize {
-        CountSketch::clone_cost_bytes(self)
-    }
-}
 
 /// How the pipeline assigns stream items to worker shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -247,11 +175,23 @@ impl PipelineConfig {
     pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
     /// A configuration with `shards` workers, the default batch size,
-    /// [`Partition::ByKey`] routing and the default router seed.
+    /// [`Partition::ByKey`] routing and the default router seed — the entry
+    /// point of the builder:
+    ///
+    /// ```
+    /// use salsa_pipeline::{Partition, PipelineConfig};
+    ///
+    /// let config = PipelineConfig::new(4)
+    ///     .batch_size(256)
+    ///     .partition(Partition::RoundRobin)
+    ///     .router_seed(0xFEED);
+    /// assert_eq!(config.shards, 4);
+    /// assert_eq!(config.batch_size, 256);
+    /// ```
     ///
     /// A shard count of `0` is clamped to `1`, mirroring
-    /// [`PipelineConfig::with_batch_size`]: no builder-style configuration
-    /// can produce a config that panics at pipeline construction.
+    /// [`PipelineConfig::batch_size`]: no builder-style configuration can
+    /// produce a config that panics at pipeline construction.
     pub fn new(shards: usize) -> Self {
         Self {
             shards: shards.max(1),
@@ -261,30 +201,58 @@ impl PipelineConfig {
         }
     }
 
-    /// Returns the configuration with a different shard count.
+    /// Sets the shard count.
     ///
     /// A shard count of `0` is clamped to `1` — same rule as
-    /// [`PipelineConfig::with_batch_size`], so builders can't configure a
+    /// [`PipelineConfig::batch_size`], so builders can't configure a
     /// pipeline that trips the `shards > 0` assertion in
     /// [`ShardedPipeline::new`].
-    pub fn with_shards(mut self, shards: usize) -> Self {
+    pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
     }
 
-    /// Returns the configuration with a different batch size.
+    /// Sets the batch size.
     ///
     /// A batch size of `0` is clamped to `1` (every push becomes its own
     /// batch): it used to configure a pipeline whose buffers could never
     /// reach their dispatch threshold.
-    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
         self
     }
 
-    /// Returns the configuration with a different partitioning mode.
-    pub fn with_partition(mut self, partition: Partition) -> Self {
+    /// Sets the partitioning mode.
+    pub fn partition(mut self, partition: Partition) -> Self {
         self.partition = partition;
         self
+    }
+
+    /// Sets the router-hash seed.
+    ///
+    /// Keep it independent of the sketch seeds (see
+    /// [`DEFAULT_ROUTER_SEED`]); it mainly exists so tests and experiments
+    /// can exercise different routings.
+    pub fn router_seed(mut self, router_seed: u64) -> Self {
+        self.router_seed = router_seed;
+        self
+    }
+
+    /// Sets the shard count.
+    #[deprecated(note = "renamed to `PipelineConfig::shards`")]
+    pub fn with_shards(self, shards: usize) -> Self {
+        self.shards(shards)
+    }
+
+    /// Sets the batch size.
+    #[deprecated(note = "renamed to `PipelineConfig::batch_size`")]
+    pub fn with_batch_size(self, batch_size: usize) -> Self {
+        self.batch_size(batch_size)
+    }
+
+    /// Sets the partitioning mode.
+    #[deprecated(note = "renamed to `PipelineConfig::partition`")]
+    pub fn with_partition(self, partition: Partition) -> Self {
+        self.partition(partition)
     }
 }

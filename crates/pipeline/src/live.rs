@@ -5,10 +5,10 @@
 //! observes exactly the batches queued before it on every shard — a
 //! consistent per-shard prefix of the acknowledged stream — and successive
 //! snapshots through one handle have monotonically non-decreasing epochs.
-//! The workers never stop ingesting: serving a snapshot costs one sketch
+//! The workers never stop ingesting: serving a snapshot costs one summary
 //! clone per shard, accounted in
 //! [`ShardStats::snapshot_secs`](crate::ShardStats::snapshot_secs) and
-//! bounded by [`SnapshotableSketch::clone_cost_bytes`].
+//! bounded by [`SnapshotSummary::clone_cost_bytes`].
 
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::time::{Duration, Instant};
@@ -20,7 +20,7 @@ use salsa_hash::BobHash;
 
 use crate::sharded::{Command, ShardProgress};
 use crate::snapshot::SnapshotView;
-use crate::{Partition, SnapshotableSketch};
+use crate::{FrequencyQueries, Partition, SnapshotSummary};
 
 /// A clonable handle for querying a [`ShardedPipeline`] from other threads
 /// while ingestion continues.
@@ -32,14 +32,14 @@ use crate::{Partition, SnapshotableSketch};
 /// [`ShardedPipeline`]: crate::ShardedPipeline
 /// [`ShardedPipeline::live_handle`]: crate::ShardedPipeline::live_handle
 /// [`ShardedPipeline::finish`]: crate::ShardedPipeline::finish
-pub struct LiveHandle<S: SnapshotableSketch> {
+pub struct LiveHandle<S: SnapshotSummary> {
     senders: Vec<SyncSender<Command<S>>>,
     progress: Vec<Arc<ShardProgress>>,
     partition: Partition,
     router: BobHash,
 }
 
-impl<S: SnapshotableSketch> Clone for LiveHandle<S> {
+impl<S: SnapshotSummary> Clone for LiveHandle<S> {
     fn clone(&self) -> Self {
         Self {
             senders: self.senders.clone(),
@@ -50,7 +50,7 @@ impl<S: SnapshotableSketch> Clone for LiveHandle<S> {
     }
 }
 
-impl<S: SnapshotableSketch> LiveHandle<S> {
+impl<S: SnapshotSummary> LiveHandle<S> {
     pub(crate) fn new(
         senders: Vec<SyncSender<Command<S>>>,
         progress: Vec<Arc<ShardProgress>>,
@@ -105,7 +105,7 @@ impl<S: SnapshotableSketch> LiveHandle<S> {
     /// The epoch is the sum of the per-shard prefixes the view reflects;
     /// successive calls through one handle see non-decreasing epochs.
     /// Returns `None` once the pipeline has been finished.
-    #[must_use = "assembling a snapshot clones every shard's sketch; dropping it wastes that work"]
+    #[must_use = "assembling a snapshot clones every shard's summary; dropping it wastes that work"]
     pub fn snapshot(&self) -> Option<SnapshotView<S>> {
         let issued = Instant::now();
         // Request every shard before collecting any reply, so the per-shard
@@ -143,7 +143,7 @@ impl<S: SnapshotableSketch> LiveHandle<S> {
     /// under-estimates that key and is at most the full merged view's
     /// estimate (it sees only same-shard hash collisions, not the other
     /// shards') — a point-query fast path at a fraction of the clone cost.
-    #[must_use = "the snapshot clones the shard's sketch; dropping it wastes that work"]
+    #[must_use = "the snapshot clones the shard's summary; dropping it wastes that work"]
     pub fn snapshot_shard(&self, shard: usize) -> Option<SnapshotView<S>> {
         let issued = Instant::now();
         let (reply_tx, reply_rx) = sync_channel(1);
@@ -160,6 +160,15 @@ impl<S: SnapshotableSketch> LiveHandle<S> {
         ))
     }
 
+    /// Wraps this handle in a [`CachedSnapshots`] layer that re-serves one
+    /// assembled view until it exceeds the given staleness bounds — see
+    /// [`CachePolicy`] for the bounds' semantics.
+    pub fn cached(self, policy: CachePolicy) -> CachedSnapshots<Self, S> {
+        CachedSnapshots::new(self, policy)
+    }
+}
+
+impl<S: SnapshotSummary + FrequencyQueries> LiveHandle<S> {
     /// Estimates the frequency of `item` against fresh shard state.
     ///
     /// Under [`Partition::ByKey`] this snapshots only the owning shard;
@@ -170,13 +179,6 @@ impl<S: SnapshotableSketch> LiveHandle<S> {
             Some(shard) => Some(self.snapshot_shard(shard)?.estimate(item)),
             None => Some(self.snapshot()?.estimate(item)),
         }
-    }
-
-    /// Wraps this handle in a [`CachedSnapshots`] layer that re-serves one
-    /// assembled view until it exceeds the given staleness bounds — see
-    /// [`CachePolicy`] for the bounds' semantics.
-    pub fn cached(self, policy: CachePolicy) -> CachedSnapshots<Self, S> {
-        CachedSnapshots::new(self, policy)
     }
 }
 
@@ -194,7 +196,7 @@ pub trait SnapshotSource<S> {
     fn acknowledged(&self) -> u64;
 }
 
-impl<S: SnapshotableSketch> SnapshotSource<S> for LiveHandle<S> {
+impl<S: SnapshotSummary> SnapshotSource<S> for LiveHandle<S> {
     fn snapshot(&self) -> Option<SnapshotView<S>> {
         LiveHandle::snapshot(self)
     }

@@ -22,7 +22,7 @@ use std::time::Instant;
 use salsa_metrics::LoadGauges;
 
 use crate::elastic::ElasticPipeline;
-use crate::SnapshotableSketch;
+use crate::SnapshotSummary;
 
 /// One observation of the pipeline's load, produced by
 /// [`LoadMonitor::sample`] and consumed by a [`ScalingPolicy`].
@@ -101,7 +101,7 @@ impl LoadMonitor {
     }
 
     /// Takes one load sample and publishes it to the gauges.
-    pub fn sample<S: SnapshotableSketch>(&mut self, pipeline: &ElasticPipeline<S>) -> LoadSnapshot {
+    pub fn sample<S: SnapshotSummary>(&mut self, pipeline: &ElasticPipeline<S>) -> LoadSnapshot {
         let now = Instant::now();
         let loads = pipeline.shard_loads();
         let pushed = pipeline.pushed();

@@ -1,14 +1,14 @@
 //! The sharded ingestion pipeline: worker threads, batching, snapshots, and
 //! the merged global view.
 //!
-//! One `std::thread` per shard owns that shard's sketch for the pipeline's
-//! whole lifetime — sketches are never shared or locked, so the hot path has
+//! One `std::thread` per shard owns that shard's summary for the pipeline's
+//! whole lifetime — summaries are never shared or locked, so the hot path has
 //! no synchronization beyond the bounded command channel.  Each worker drains
 //! a stream of commands:
 //!
-//! * `Ingest(batch)` — apply a batch through
-//!   [`FrequencyEstimator::batch_update`] (the hot path);
-//! * `Snapshot(reply)` — clone the shard's sketch *as of every previously
+//! * `Ingest(batch)` — apply a batch through [`StreamSummary::ingest`](crate::StreamSummary::ingest) (the
+//!   hot path);
+//! * `Snapshot(reply)` — clone the shard's summary *as of every previously
 //!   queued batch* and send it back, so queries can run against a consistent
 //!   point-in-time copy while ingestion continues;
 //! * `Drain(ack)` — acknowledge once all previously queued batches have been
@@ -22,7 +22,6 @@
 //! land on a well-defined global epoch, and what keeps concurrent
 //! [`LiveHandle`] snapshot epochs monotone.
 //!
-//! [`FrequencyEstimator::batch_update`]: salsa_sketches::estimator::FrequencyEstimator::batch_update
 
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::thread::JoinHandle;
@@ -36,7 +35,7 @@ use salsa_hash::BobHash;
 
 use crate::live::LiveHandle;
 use crate::snapshot::SnapshotView;
-use crate::{Partition, PipelineConfig, SnapshotableSketch};
+use crate::{Partition, PipelineConfig, SnapshotSummary};
 
 /// How many commands may queue per worker before `push` applies
 /// backpressure.  Small on purpose: it bounds memory, keeps producers from
@@ -52,7 +51,7 @@ pub(crate) struct ShardProgress {
     /// Items this worker has applied.
     pub(crate) applied: AtomicU64,
     /// Cumulative wall-clock nanoseconds this worker has spent inside
-    /// `batch_update` — busy time, excluding channel waits.
+    /// `ingest` — busy time, excluding channel waits.
     pub(crate) busy_nanos: AtomicU64,
 }
 
@@ -116,8 +115,8 @@ pub struct ShardStats {
     pub items: u64,
     /// Batches this shard has applied.
     pub batches: u64,
-    /// Wall-clock seconds the shard spent inside `batch_update` (excludes
-    /// time blocked on the channel).
+    /// Wall-clock seconds the shard spent inside `ingest` (excludes time
+    /// blocked on the channel).
     pub busy_secs: f64,
     /// Snapshot clones this shard has served.
     pub snapshots: u64,
@@ -154,7 +153,7 @@ impl<S> PipelineOutput<S> {
     }
 }
 
-/// A sharded, batched ingestion pipeline over any [`SnapshotableSketch`].
+/// A sharded, batched ingestion pipeline over any [`SnapshotSummary`].
 ///
 /// Build one with [`ShardedPipeline::new`], feed it with
 /// [`ShardedPipeline::push`] / [`ShardedPipeline::extend`], query it *while
@@ -162,7 +161,7 @@ impl<S> PipelineOutput<S> {
 /// [`ShardedPipeline::live_handle`], and call [`ShardedPipeline::finish`]
 /// to obtain the merged global view.  See the crate docs for the
 /// partitioning modes and their exactness guarantees.
-pub struct ShardedPipeline<S: SnapshotableSketch> {
+pub struct ShardedPipeline<S: SnapshotSummary> {
     partition: Partition,
     batch_size: usize,
     router: BobHash,
@@ -174,20 +173,18 @@ pub struct ShardedPipeline<S: SnapshotableSketch> {
     pushed: u64,
 }
 
-impl<S: SnapshotableSketch> ShardedPipeline<S> {
+impl<S: SnapshotSummary> ShardedPipeline<S> {
     /// Creates the pipeline and spawns one worker thread per shard.
     ///
     /// `factory` is called once per shard (with the shard index) to build
-    /// that shard's sketch.  Every call **must** use the same seed and
+    /// that shard's summary.  Every call **must** use the same seed and
     /// dimensions — the pipeline cannot check this generically, but
-    /// [`MergeableSketch::merge_from`] enforces it when
+    /// [`StreamSummary::merge_from`](crate::StreamSummary::merge_from) enforces it when
     /// [`ShardedPipeline::finish`] folds the shards together.
     ///
     /// # Panics
     ///
     /// Panics if `config.shards == 0` or `config.batch_size == 0`.
-    ///
-    /// [`MergeableSketch::merge_from`]: crate::MergeableSketch::merge_from
     pub fn new(config: &PipelineConfig, mut factory: impl FnMut(usize) -> S) -> Self {
         assert!(config.shards > 0, "a pipeline needs at least one shard");
         assert!(config.batch_size > 0, "batch size must be positive");
@@ -207,7 +204,7 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
                             match command {
                                 Command::Ingest(batch) => {
                                     let start = Instant::now();
-                                    sketch.batch_update(&batch);
+                                    sketch.ingest(&batch);
                                     // One accumulator (integer nanos) for busy
                                     // time; the f64 in ShardStats is derived
                                     // from it, so the two can never drift.
@@ -442,11 +439,9 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread panicked, or if the shard sketches were
+    /// Panics if a worker thread panicked, or if the shard summaries were
     /// built with mismatched seeds/shapes (see
-    /// [`MergeableSketch::merge_from`]).
-    ///
-    /// [`MergeableSketch::merge_from`]: crate::MergeableSketch::merge_from
+    /// [`StreamSummary::merge_from`](crate::StreamSummary::merge_from)).
     pub fn finish(mut self) -> PipelineOutput<S> {
         self.flush();
         let mut reports: Vec<WorkerReport<S>> = self
@@ -482,7 +477,7 @@ impl<S: SnapshotableSketch> ShardedPipeline<S> {
 
 /// Convenience: builds a pipeline for `config`, streams `items` through it,
 /// and finishes it — the one-call form used by benches and examples.
-pub fn run_sharded<S: SnapshotableSketch>(
+pub fn run_sharded<S: SnapshotSummary>(
     config: &PipelineConfig,
     factory: impl FnMut(usize) -> S,
     items: &[u64],
@@ -512,9 +507,9 @@ mod tests {
             .collect()
     }
 
-    fn unsharded<S: SnapshotableSketch>(mut sketch: S, items: &[u64]) -> S {
+    fn unsharded<S: SnapshotSummary>(mut sketch: S, items: &[u64]) -> S {
         for chunk in items.chunks(PipelineConfig::DEFAULT_BATCH_SIZE) {
-            sketch.batch_update(chunk);
+            sketch.ingest(chunk);
         }
         sketch
     }
@@ -540,8 +535,8 @@ mod tests {
         let items = zipfish_stream(50_000, 2_000, 7);
         let make = |_: usize| CountMin::salsa(4, 512, 8, MergeOp::Sum, 13);
         let config = PipelineConfig::new(3)
-            .with_partition(Partition::RoundRobin)
-            .with_batch_size(64);
+            .partition(Partition::RoundRobin)
+            .batch_size(64);
         let out = run_sharded(&config, make, &items);
         let single = unsharded(make(0), &items);
         for item in 0..2_000u64 {
@@ -561,7 +556,7 @@ mod tests {
             *truth.entry(item).or_insert(0u64) += 1;
         }
         for partition in [Partition::ByKey, Partition::RoundRobin] {
-            let config = PipelineConfig::new(4).with_partition(partition);
+            let config = PipelineConfig::new(4).partition(partition);
             let out = run_sharded(
                 &config,
                 |_| CountMin::salsa(4, 512, 8, MergeOp::Max, 17),
@@ -623,8 +618,8 @@ mod tests {
     fn stats_account_for_every_item_and_batch() {
         let items: Vec<u64> = (0..10_000).map(|i| i % 97).collect();
         let config = PipelineConfig::new(4)
-            .with_partition(Partition::RoundRobin)
-            .with_batch_size(128);
+            .partition(Partition::RoundRobin)
+            .batch_size(128);
         let out = run_sharded(
             &config,
             |_| CountMin::salsa(2, 128, 8, MergeOp::Sum, 3),
@@ -647,7 +642,7 @@ mod tests {
     fn single_shard_pipeline_degenerates_to_one_sketch() {
         let items = zipfish_stream(5_000, 200, 31);
         let make = |_: usize| CountMin::salsa(4, 256, 8, MergeOp::Sum, 37);
-        let out = run_sharded(&PipelineConfig::new(1).with_batch_size(1), make, &items);
+        let out = run_sharded(&PipelineConfig::new(1).batch_size(1), make, &items);
         let single = unsharded(make(0), &items);
         for item in 0..200u64 {
             assert_eq!(out.merged.estimate(item), single.estimate(item));
@@ -656,10 +651,10 @@ mod tests {
 
     #[test]
     fn zero_batch_size_is_clamped_to_one() {
-        // `with_batch_size(0)` used to configure a pipeline that could never
+        // `batch_size(0)` used to configure a pipeline that could never
         // dispatch a batch; the builder now clamps to 1 (every push becomes
         // its own batch) and the pipeline behaves like batch_size == 1.
-        let config = PipelineConfig::new(2).with_batch_size(0);
+        let config = PipelineConfig::new(2).batch_size(0);
         assert_eq!(config.batch_size, 1);
         let items = zipfish_stream(2_000, 100, 41);
         let make = |_: usize| CountMin::salsa(2, 128, 8, MergeOp::Sum, 43);
@@ -676,9 +671,7 @@ mod tests {
         let items = zipfish_stream(20_000, 500, 47);
         let make = |_: usize| CountMin::salsa(3, 512, 8, MergeOp::Sum, 53);
         for partition in [Partition::ByKey, Partition::RoundRobin] {
-            let config = PipelineConfig::new(3)
-                .with_partition(partition)
-                .with_batch_size(64);
+            let config = PipelineConfig::new(3).partition(partition).batch_size(64);
             let mut pipeline = ShardedPipeline::new(&config, make);
             pipeline.extend(&items[..12_345]);
             let view = pipeline.snapshot();
@@ -706,7 +699,7 @@ mod tests {
     #[test]
     fn drain_acknowledges_everything_pushed() {
         let items = zipfish_stream(8_000, 300, 59);
-        let config = PipelineConfig::new(4).with_batch_size(32);
+        let config = PipelineConfig::new(4).batch_size(32);
         let mut pipeline =
             ShardedPipeline::new(&config, |_| CountMin::salsa(2, 256, 8, MergeOp::Sum, 61));
         let handle = pipeline.live_handle();
@@ -731,11 +724,11 @@ mod tests {
     #[test]
     fn zero_shards_is_clamped_to_one() {
         // Builder-style configuration can't panic: both `new(0)` and
-        // `with_shards(0)` clamp to a single shard, mirroring the
-        // `with_batch_size(0)` rule.
+        // `shards(0)` clamp to a single shard, mirroring the
+        // `batch_size(0)` rule.
         assert_eq!(PipelineConfig::new(0).shards, 1);
-        assert_eq!(PipelineConfig::new(4).with_shards(0).shards, 1);
-        assert_eq!(PipelineConfig::new(4).with_shards(3).shards, 3);
+        assert_eq!(PipelineConfig::new(4).shards(0).shards, 1);
+        assert_eq!(PipelineConfig::new(4).shards(3).shards, 3);
         let items = zipfish_stream(2_000, 100, 67);
         let make = |_: usize| CountMin::salsa(2, 128, 8, MergeOp::Sum, 71);
         let out = run_sharded(&PipelineConfig::new(0), make, &items);
@@ -759,11 +752,23 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the one-release compatibility wrappers
+    fn deprecated_with_setters_still_configure() {
+        let config = PipelineConfig::new(1)
+            .with_shards(3)
+            .with_batch_size(0)
+            .with_partition(Partition::RoundRobin);
+        assert_eq!(config.shards, 3);
+        assert_eq!(config.batch_size, 1, "clamping carries over");
+        assert_eq!(config.partition, Partition::RoundRobin);
+    }
+
+    #[test]
     fn shard_loads_track_dispatch_apply_and_busy_time() {
         let items: Vec<u64> = (0..4_096).collect();
         let config = PipelineConfig::new(2)
-            .with_partition(Partition::RoundRobin)
-            .with_batch_size(256);
+            .partition(Partition::RoundRobin)
+            .batch_size(256);
         let mut pipeline =
             ShardedPipeline::new(&config, |_| CountMin::salsa(2, 256, 8, MergeOp::Sum, 73));
         pipeline.extend(&items);

@@ -1,18 +1,21 @@
 //! Epoch-stamped, point-in-time views of a running pipeline.
 //!
 //! A [`SnapshotView`] is assembled by merging clones of the per-shard
-//! sketches (Section V: same-seed sketches combine counter-wise), so it can
-//! be queried freely — point estimates, top-k, per-shard stats — without
+//! summaries (Section V: same-seed sketches combine counter-wise), so it
+//! can be queried freely — per-shard stats always; point estimates, top-k,
+//! distinct counts, entropy and the like whenever the summary implements
+//! the matching capability trait ([`FrequencyQueries`],
+//! [`DistinctQueries`], [`UniversalQueries`], [`TrackedQueries`]) — without
 //! holding any lock and without slowing the workers beyond the one-off
 //! clone.  The view is immutable: it represents the stream *as of its
 //! epoch* and only grows stale, never inconsistent.
 
 use std::time::{Duration, Instant};
 
-use salsa_sketches::estimator::FrequencyEstimator;
 use salsa_sketches::heavy_hitters::TopK;
 
 use crate::sharded::ShardStats;
+use crate::summary::{DistinctQueries, FrequencyQueries, TrackedQueries, UniversalQueries};
 
 /// An immutable, epoch-stamped snapshot of the pipeline's merged state.
 ///
@@ -56,7 +59,7 @@ impl<S> SnapshotView<S> {
     }
 
     /// Rebuilds a view from [`SnapshotView::into_parts`] output with a new
-    /// merged sketch, a rebased epoch and a generation stamp.  `assembled`
+    /// merged summary, a rebased epoch and a generation stamp.  `assembled`
     /// is re-taken, so `assembly_time` covers the extra fold.
     pub(crate) fn from_parts(
         merged: S,
@@ -100,12 +103,12 @@ impl<S> SnapshotView<S> {
         &self.shards
     }
 
-    /// The merged sketch backing this view.
+    /// The merged summary backing this view.
     pub fn merged(&self) -> &S {
         &self.merged
     }
 
-    /// Consumes the view, returning the merged sketch.
+    /// Consumes the view, returning the merged summary.
     pub fn into_merged(self) -> S {
         self.merged
     }
@@ -125,7 +128,7 @@ impl<S> SnapshotView<S> {
     }
 }
 
-impl<S: FrequencyEstimator> SnapshotView<S> {
+impl<S: FrequencyQueries> SnapshotView<S> {
     /// Estimates the frequency of `item` as of this view's epoch.
     #[inline]
     pub fn estimate(&self, item: u64) -> i64 {
@@ -137,6 +140,15 @@ impl<S: FrequencyEstimator> SnapshotView<S> {
     /// caller supplies the candidate set (a key universe, a tracked
     /// hot-set, …); negative estimates (possible under Count Sketch) are
     /// treated as absent.
+    ///
+    /// **Exactness:** relative to the merged view this is *exact over the
+    /// supplied candidates* — every candidate is re-estimated against the
+    /// merged summary, so nothing the caller names can be missed.  The
+    /// trade-off is that the caller must be able to name the candidates;
+    /// when no candidate universe is available, wrap the summary in
+    /// [`Tracked`](crate::Tracked) and use
+    /// [`SnapshotView::top_k_tracked`], which needs no candidate set but is
+    /// approximate (an item can be missing if no shard ever tracked it).
     pub fn top_k(&self, k: usize, candidates: impl IntoIterator<Item = u64>) -> TopK {
         let mut topk = TopK::new(k);
         for item in candidates {
@@ -146,5 +158,53 @@ impl<S: FrequencyEstimator> SnapshotView<S> {
             }
         }
         topk
+    }
+}
+
+impl<S: TrackedQueries> SnapshotView<S> {
+    /// The heavy hitters tracked on-arrival by the shards, merged at
+    /// snapshot time (see [`Tracked`](crate::Tracked)).
+    ///
+    /// **Exactness:** the tracked *estimates* are exact with respect to this
+    /// view — the merge re-estimates every surviving item against the merged
+    /// summary, so `top_k_tracked().estimate(x) == estimate(x)` for every
+    /// tracked `x`.  The tracked *set* is approximate: an item is missing
+    /// only if no shard ever tracked it.  With by-key routing each key's
+    /// whole sub-stream lands on one shard, so any item a single-threaded
+    /// tracker of the same `k` would hold is tracked by its home shard;
+    /// under round-robin routing a key's occurrences are split across
+    /// shards and a borderline item can fall below every per-shard
+    /// threshold.  Use [`SnapshotView::top_k`] with an explicit candidate
+    /// set when the caller can enumerate candidates and needs exactness.
+    pub fn top_k_tracked(&self) -> &TopK {
+        self.merged.tracked()
+    }
+}
+
+impl<S: DistinctQueries> SnapshotView<S> {
+    /// Estimates the number of distinct items as of this view's epoch;
+    /// `None` once the underlying estimator has saturated.
+    pub fn estimate_distinct(&self) -> Option<f64> {
+        self.merged.estimate_distinct()
+    }
+}
+
+impl<S: UniversalQueries> SnapshotView<S> {
+    /// Estimates the empirical entropy of the stream as of this view's
+    /// epoch (UnivMon G-sum estimator).
+    pub fn entropy(&self) -> f64 {
+        self.merged.entropy()
+    }
+
+    /// Estimates the `p`-th frequency moment `F_p = Σ_x f_x^p` as of this
+    /// view's epoch.
+    pub fn fp_moment(&self, p: f64) -> f64 {
+        self.merged.fp_moment(p)
+    }
+
+    /// Estimates the number of distinct items (`F_0`) as of this view's
+    /// epoch.
+    pub fn distinct(&self) -> f64 {
+        self.merged.distinct()
     }
 }

@@ -1,0 +1,482 @@
+//! The pipeline's summary contract and its capability traits.
+//!
+//! SALSA's counter-wise mergeability (Section V) is not specific to
+//! frequency estimation, so the transport layer — sharded workers, live
+//! snapshots, elastic resharding — is bound only to the minimal
+//! [`StreamSummary`] contract: *ingest a batch, merge counter-wise*.
+//! Everything a summary can be **asked** lives in small capability traits
+//! ([`FrequencyQueries`], [`DistinctQueries`], [`UniversalQueries`],
+//! [`TrackedQueries`]) that [`SnapshotView`](crate::SnapshotView) and the
+//! live/elastic handles surface only when the summary implements them.
+//! This is the split between sketch *logic* and worker/snapshot *transport*
+//! that lets UnivMon, distinct counting and heavy-hitter tracking ride the
+//! same machinery as the frequency sketches.
+//!
+//! | Pre-0.7 bound | Replacement |
+//! |---------------|-------------|
+//! | `MergeableSketch` | [`StreamSummary`] (+ [`FrequencyQueries`] if you query) |
+//! | `SnapshotableSketch` | [`SnapshotSummary`] (+ capability traits as needed) |
+//! | `FrequencyEstimator::batch_update` (worker hot path) | [`StreamSummary::ingest`] |
+
+use salsa_core::merge::RowMerge;
+use salsa_core::traits::{Row, SignedRow};
+use salsa_sketches::cms::CountMin;
+use salsa_sketches::cs::CountSketch;
+use salsa_sketches::cus::ConservativeUpdate;
+use salsa_sketches::distinct::DistinctCounter;
+use salsa_sketches::estimator::FrequencyEstimator;
+use salsa_sketches::heavy_hitters::TopK;
+use salsa_sketches::univmon::UnivMon;
+
+/// A summary whose same-seed, same-shape instances can ingest item batches
+/// and be combined counter-wise into a summary of the union stream.
+///
+/// This is the *entire* contract a type must satisfy to run sharded: it must
+/// be movable onto a worker thread (`Send + 'static`), consume batches of
+/// items, and merge at the summary level.  What the summary can be queried
+/// for afterwards is expressed separately through the capability traits
+/// ([`FrequencyQueries`], [`DistinctQueries`], [`UniversalQueries`], …).
+/// Implementations enforce the "same hash functions, same shape" merge
+/// precondition themselves and panic on mismatch.
+pub trait StreamSummary: Send + 'static {
+    /// Processes a batch of unit-weight updates (`⟨item, 1⟩` per item) —
+    /// the worker shard's hot path.  Implementations are expected to
+    /// monomorphize the loop (row-major where update order allows) so a
+    /// shard pays any dispatch cost once per batch, not once per item.
+    fn ingest(&mut self, items: &[u64]);
+
+    /// Counter-wise merges `other` into `self`, so that `self` afterwards
+    /// summarizes the union of the two input streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands were built with different seeds or shapes.
+    fn merge_from(&mut self, other: &Self);
+}
+
+/// A [`StreamSummary`] that can additionally serve live queries: cloning it
+/// is cheap and bounded (a flat copy of its counter storage), so a shard
+/// worker can produce a point-in-time copy on demand without stalling
+/// ingestion for longer than one memcpy.
+///
+/// This is the contract behind [`ShardedPipeline::snapshot`] and
+/// [`LiveHandle`]: snapshots are assembled by cloning each shard's summary
+/// and folding the clones counter-wise, leaving the live summaries
+/// untouched.
+///
+/// [`ShardedPipeline::snapshot`]: crate::ShardedPipeline::snapshot
+/// [`LiveHandle`]: crate::LiveHandle
+pub trait SnapshotSummary: StreamSummary + Clone {
+    /// Bytes copied per clone — the cost one snapshot imposes on each
+    /// shard.  Implementations report their counter storage plus encoding
+    /// metadata (see `Row::clone_cost_bytes` in `salsa-core`).
+    fn clone_cost_bytes(&self) -> usize;
+
+    /// Counter-wise merges two summaries into a *new* one, leaving both
+    /// operands untouched — the snapshot-assembly primitive.  Same
+    /// seed/shape contract as [`StreamSummary::merge_from`].
+    fn merge_into_new(&self, other: &Self) -> Self {
+        let mut merged = self.clone();
+        merged.merge_from(other);
+        merged
+    }
+}
+
+/// Capability: per-item frequency queries.
+///
+/// Implemented by the frequency sketches (CMS/CUS/CS and wrappers around
+/// them); [`SnapshotView`](crate::SnapshotView)'s `estimate`/`top_k` and the
+/// point-query fast paths on [`LiveHandle`](crate::LiveHandle) /
+/// [`ElasticHandle`](crate::ElasticHandle) are gated on it.
+pub trait FrequencyQueries {
+    /// Estimates the current frequency of `item` (signed, so Turnstile
+    /// summaries fit the same surface).
+    fn estimate(&self, item: u64) -> i64;
+}
+
+/// Capability: distinct-count (F0) estimation.
+///
+/// Gates [`SnapshotView::estimate_distinct`](crate::SnapshotView::estimate_distinct).
+pub trait DistinctQueries {
+    /// Estimates the number of distinct items summarized so far; `None`
+    /// when the underlying estimator has saturated.
+    fn estimate_distinct(&self) -> Option<f64>;
+}
+
+/// Capability: UnivMon-style universal statistics (any G-sum in
+/// Stream-PolyLog).
+///
+/// Gates the `entropy`/`fp_moment`/`distinct` queries on
+/// [`SnapshotView`](crate::SnapshotView).
+pub trait UniversalQueries {
+    /// Estimates the empirical entropy of the frequency distribution.
+    fn entropy(&self) -> f64;
+
+    /// Estimates the `p`-th frequency moment `F_p = Σ_x f_x^p`.
+    fn fp_moment(&self, p: f64) -> f64;
+
+    /// Estimates the number of distinct items (`F_0`).
+    fn distinct(&self) -> f64;
+}
+
+/// Capability: an on-arrival heavy-hitter tracker rides along with the
+/// summary (see [`Tracked`]).
+///
+/// Gates [`SnapshotView::top_k_tracked`](crate::SnapshotView::top_k_tracked).
+pub trait TrackedQueries {
+    /// The tracked heavy hitters of this summary.
+    fn tracked(&self) -> &TopK;
+}
+
+// ---------------------------------------------------------------------------
+// Frequency sketches: StreamSummary = batched updates + sketch-level merge.
+// (No blanket impl over `FrequencyEstimator` — coherence would forbid the
+// non-estimator impls below, and the explicit list keeps `ingest` on each
+// sketch's monomorphized batch loop.)
+// ---------------------------------------------------------------------------
+
+impl<R> StreamSummary for CountMin<R>
+where
+    R: Row + RowMerge + Send + 'static,
+{
+    fn ingest(&mut self, items: &[u64]) {
+        CountMin::update_batch(self, items);
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        CountMin::merge_from(self, other);
+    }
+}
+
+impl<R> StreamSummary for ConservativeUpdate<R>
+where
+    R: Row + RowMerge + Send + 'static,
+{
+    fn ingest(&mut self, items: &[u64]) {
+        ConservativeUpdate::update_batch(self, items);
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        ConservativeUpdate::merge_from(self, other);
+    }
+}
+
+impl<S> StreamSummary for CountSketch<S>
+where
+    S: SignedRow + RowMerge + Send + 'static,
+{
+    fn ingest(&mut self, items: &[u64]) {
+        CountSketch::update_batch(self, items);
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        CountSketch::merge_from(self, other);
+    }
+}
+
+impl<R> SnapshotSummary for CountMin<R>
+where
+    R: Row + RowMerge + Clone + Send + 'static,
+{
+    fn clone_cost_bytes(&self) -> usize {
+        CountMin::clone_cost_bytes(self)
+    }
+}
+
+impl<R> SnapshotSummary for ConservativeUpdate<R>
+where
+    R: Row + RowMerge + Clone + Send + 'static,
+{
+    fn clone_cost_bytes(&self) -> usize {
+        ConservativeUpdate::clone_cost_bytes(self)
+    }
+}
+
+impl<S> SnapshotSummary for CountSketch<S>
+where
+    S: SignedRow + RowMerge + Clone + Send + 'static,
+{
+    fn clone_cost_bytes(&self) -> usize {
+        CountSketch::clone_cost_bytes(self)
+    }
+}
+
+impl<R: Row> FrequencyQueries for CountMin<R> {
+    fn estimate(&self, item: u64) -> i64 {
+        FrequencyEstimator::estimate(self, item)
+    }
+}
+
+impl<R: Row> FrequencyQueries for ConservativeUpdate<R> {
+    fn estimate(&self, item: u64) -> i64 {
+        FrequencyEstimator::estimate(self, item)
+    }
+}
+
+impl<S: SignedRow> FrequencyQueries for CountSketch<S> {
+    fn estimate(&self, item: u64) -> i64 {
+        CountSketch::estimate(self, item)
+    }
+}
+
+impl<R: Row> DistinctQueries for CountMin<R> {
+    fn estimate_distinct(&self) -> Option<f64> {
+        CountMin::estimate_distinct(self)
+    }
+}
+
+impl<R: Row> DistinctQueries for ConservativeUpdate<R> {
+    fn estimate_distinct(&self) -> Option<f64> {
+        ConservativeUpdate::estimate_distinct(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-frequency summaries: the point of the redesign.
+// ---------------------------------------------------------------------------
+
+impl<S> StreamSummary for UnivMon<S>
+where
+    S: SignedRow + RowMerge + Send + 'static,
+{
+    fn ingest(&mut self, items: &[u64]) {
+        UnivMon::batch_update(self, items);
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        UnivMon::merge_from(self, other);
+    }
+}
+
+impl<S> SnapshotSummary for UnivMon<S>
+where
+    S: SignedRow + RowMerge + Clone + Send + 'static,
+{
+    fn clone_cost_bytes(&self) -> usize {
+        UnivMon::clone_cost_bytes(self)
+    }
+}
+
+impl<S: SignedRow> UniversalQueries for UnivMon<S> {
+    fn entropy(&self) -> f64 {
+        UnivMon::entropy(self)
+    }
+
+    fn fp_moment(&self, p: f64) -> f64 {
+        UnivMon::fp_moment(self, p)
+    }
+
+    fn distinct(&self) -> f64 {
+        UnivMon::distinct(self)
+    }
+}
+
+impl<R> StreamSummary for DistinctCounter<R>
+where
+    R: Row + RowMerge + Send + 'static,
+{
+    fn ingest(&mut self, items: &[u64]) {
+        DistinctCounter::batch_update(self, items);
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        DistinctCounter::merge_from(self, other);
+    }
+}
+
+impl<R> SnapshotSummary for DistinctCounter<R>
+where
+    R: Row + RowMerge + Clone + Send + 'static,
+{
+    fn clone_cost_bytes(&self) -> usize {
+        DistinctCounter::clone_cost_bytes(self)
+    }
+}
+
+impl<R: Row> DistinctQueries for DistinctCounter<R> {
+    fn estimate_distinct(&self) -> Option<f64> {
+        DistinctCounter::estimate_distinct(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracked<S>: bolt an on-arrival heavy-hitter tracker onto any frequency
+// summary.
+// ---------------------------------------------------------------------------
+
+/// A frequency summary with an on-arrival [`TopK`] tracker riding along.
+///
+/// Every ingested item's fresh estimate is offered to the tracker (the
+/// Section III heavy-hitter loop), so each shard tracks the top `k` of *its*
+/// sub-stream.  On merge the inner summaries combine counter-wise and the
+/// tracker is rebuilt by re-estimating the union of both trackers' items
+/// against the merged summary — so in an assembled snapshot every tracked
+/// estimate equals the merged view's estimate for that item.  An item is
+/// missing only if **no** shard ever tracked it; with by-key routing a
+/// key's entire sub-stream lands on one shard, so any item that would enter
+/// a single-threaded tracker of the same `k` is tracked by its home shard.
+///
+/// [`SnapshotView::top_k_tracked`](crate::SnapshotView::top_k_tracked)
+/// exposes the merged tracker.
+#[derive(Debug, Clone)]
+pub struct Tracked<S> {
+    inner: S,
+    tracker: TopK,
+}
+
+impl<S> Tracked<S> {
+    /// Wraps `inner`, tracking the `k` items with the largest estimates.
+    pub fn new(inner: S, k: usize) -> Self {
+        Self {
+            inner,
+            tracker: TopK::new(k),
+        }
+    }
+
+    /// Borrows the wrapped summary.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the summary, discarding the tracker.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S> StreamSummary for Tracked<S>
+where
+    S: StreamSummary + FrequencyQueries,
+{
+    fn ingest(&mut self, items: &[u64]) {
+        self.inner.ingest(items);
+        // Offer post-batch estimates; `TopK::offer` keeps the max per item,
+        // so duplicates within the batch are harmless.
+        for &item in items {
+            let est = self.inner.estimate(item).max(0) as u64;
+            self.tracker.offer(item, est);
+        }
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.inner.merge_from(&other.inner);
+        let mut rebuilt = TopK::new(self.tracker.k());
+        for (item, _) in self
+            .tracker
+            .items()
+            .into_iter()
+            .chain(other.tracker.items())
+        {
+            let est = self.inner.estimate(item).max(0) as u64;
+            if est > 0 {
+                rebuilt.offer(item, est);
+            }
+        }
+        self.tracker = rebuilt;
+    }
+}
+
+impl<S> SnapshotSummary for Tracked<S>
+where
+    S: SnapshotSummary + FrequencyQueries,
+{
+    fn clone_cost_bytes(&self) -> usize {
+        self.inner.clone_cost_bytes() + self.tracker.clone_cost_bytes()
+    }
+}
+
+impl<S: FrequencyQueries> FrequencyQueries for Tracked<S> {
+    fn estimate(&self, item: u64) -> i64 {
+        self.inner.estimate(item)
+    }
+}
+
+impl<S: DistinctQueries> DistinctQueries for Tracked<S> {
+    fn estimate_distinct(&self) -> Option<f64> {
+        self.inner.estimate_distinct()
+    }
+}
+
+impl<S> TrackedQueries for Tracked<S> {
+    fn tracked(&self) -> &TopK {
+        &self.tracker
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-0.7 compatibility shims.
+// ---------------------------------------------------------------------------
+
+/// The pre-0.7 spelling of the sharded contract, kept for one release as a
+/// migration shim: every `StreamSummary + FrequencyQueries` satisfies it.
+#[deprecated(note = "split into `StreamSummary` + `FrequencyQueries`; bound on those instead")]
+pub trait MergeableSketch: StreamSummary + FrequencyQueries {}
+
+#[allow(deprecated)] // the shim must implement its own deprecated trait
+impl<T: StreamSummary + FrequencyQueries> MergeableSketch for T {}
+
+/// The pre-0.7 spelling of the snapshot contract, kept for one release as a
+/// migration shim: every `SnapshotSummary + FrequencyQueries` satisfies it.
+#[deprecated(note = "split into `SnapshotSummary` + `FrequencyQueries`; bound on those instead")]
+pub trait SnapshotableSketch: SnapshotSummary + FrequencyQueries {}
+
+#[allow(deprecated)] // the shim must implement its own deprecated trait
+impl<T: SnapshotSummary + FrequencyQueries> SnapshotableSketch for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_core::prelude::MergeOp;
+
+    fn summary_ingest<S: StreamSummary>(summary: &mut S, items: &[u64]) {
+        summary.ingest(items);
+    }
+
+    #[test]
+    fn tracked_ingest_tracks_heavy_hitters() {
+        let mut tracked = Tracked::new(CountMin::baseline(4, 1 << 12, 32, 9), 4);
+        let mut items = Vec::new();
+        for item in 0..100u64 {
+            for _ in 0..=item {
+                items.push(item);
+            }
+        }
+        summary_ingest(&mut tracked, &items);
+        let tops: Vec<u64> = tracked.tracked().items().iter().map(|&(i, _)| i).collect();
+        assert_eq!(tops, vec![99, 98, 97, 96]);
+    }
+
+    #[test]
+    fn tracked_merge_rebuilds_against_merged_summary() {
+        let make = || Tracked::new(CountMin::baseline(4, 1 << 12, 32, 9), 8);
+        let mut whole = make();
+        let mut left = make();
+        let mut right = make();
+        let mut items = Vec::new();
+        for item in 0..50u64 {
+            for _ in 0..=item {
+                items.push(item);
+            }
+        }
+        whole.ingest(&items);
+        let (a, b) = items.split_at(items.len() / 2);
+        left.ingest(a);
+        right.ingest(b);
+        left.merge_from(&right);
+        // Rebuilt estimates reflect the *merged* summary, not the partials.
+        for (item, est) in left.tracked().items() {
+            assert_eq!(est, left.estimate(item) as u64);
+        }
+        assert!(left.tracked().contains(49));
+        assert!(left.tracked().contains(48));
+    }
+
+    #[test]
+    fn distinct_counter_is_a_stream_summary_without_frequency_queries() {
+        // Compile-time proof that the transport bound does not require
+        // FrequencyQueries: DistinctCounter implements StreamSummary only.
+        let mut counter = DistinctCounter::new(CountMin::salsa(4, 1 << 12, 8, MergeOp::Sum, 5));
+        summary_ingest(&mut counter, &[1, 2, 3, 2, 1]);
+        assert!(counter.estimate_distinct().is_some());
+    }
+}

@@ -63,8 +63,8 @@ fn check_rescale_schedule(
     partition: Partition,
 ) -> Result<(), TestCaseError> {
     let config = PipelineConfig::new(initial_shards)
-        .with_partition(partition)
-        .with_batch_size(32);
+        .partition(partition)
+        .batch_size(32);
     let mut schedule: Vec<(usize, usize)> = schedule
         .iter()
         .map(|&(cut, shards)| (cut.min(items.len()), shards))
@@ -128,7 +128,7 @@ proptest! {
         // All rescales happen at one stream position, one directly after
         // the other: generations of zero items must still seal cleanly.
         let cut = cut.min(items.len());
-        let config = PipelineConfig::new(2).with_batch_size(16);
+        let config = PipelineConfig::new(2).batch_size(16);
         let mut pipeline = ElasticPipeline::new(&config, make_sketch());
         pipeline.extend(&items[..cut]);
         for &count in &counts {

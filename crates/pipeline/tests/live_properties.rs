@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use salsa_core::prelude::*;
-use salsa_pipeline::{Partition, PipelineConfig, ShardedPipeline, SnapshotableSketch};
+use salsa_pipeline::{Partition, PipelineConfig, ShardedPipeline, SnapshotSummary};
 use salsa_sketches::prelude::*;
 
 const UNIVERSE: u64 = 300;
@@ -36,8 +36,8 @@ fn check_interleaved_snapshots(
     partition: Partition,
 ) -> Result<(), TestCaseError> {
     let config = PipelineConfig::new(shards)
-        .with_partition(partition)
-        .with_batch_size(32);
+        .partition(partition)
+        .batch_size(32);
     let mut cuts: Vec<usize> = cuts.iter().map(|&c| c.min(items.len())).collect();
     cuts.sort_unstable();
 
@@ -105,12 +105,12 @@ proptest! {
         a in prop::collection::vec(0u64..UNIVERSE, 1..200),
         b in prop::collection::vec(0u64..UNIVERSE, 1..200),
     ) {
-        // The SnapshotableSketch assembly primitive: merging two prefix
+        // The SnapshotSummary assembly primitive: merging two prefix
         // sketches into a new one equals sketching the concatenation, and
         // leaves the operands untouched.
         let sa = unsharded(&a);
         let sb = unsharded(&b);
-        let merged = SnapshotableSketch::merge_into_new(&sa, &sb);
+        let merged = SnapshotSummary::merge_into_new(&sa, &sb);
         let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
         let direct = unsharded(&concat);
         let sa_untouched = unsharded(&a);
@@ -118,6 +118,6 @@ proptest! {
             prop_assert_eq!(merged.estimate(item), direct.estimate(item));
             prop_assert_eq!(sa.estimate(item), sa_untouched.estimate(item));
         }
-        prop_assert!(SnapshotableSketch::clone_cost_bytes(&sa) >= sa.size_bytes());
+        prop_assert!(SnapshotSummary::clone_cost_bytes(&sa) >= sa.size_bytes());
     }
 }

@@ -8,6 +8,7 @@
 //! occur at the same rate `f` as among the unmerged ones.  That heuristic is
 //! implemented by [`Row::estimated_zero_base_slots`].
 
+use salsa_core::merge::RowMerge;
 use salsa_core::traits::Row;
 
 use crate::cms::CountMin;
@@ -62,6 +63,69 @@ impl<R: Row> ConservativeUpdate<R> {
     /// averaged over the rows).
     pub fn estimate_distinct(&self) -> Option<f64> {
         distinct_from_rows(self.rows())
+    }
+}
+
+/// A stream summary that *only* counts distinct items.
+///
+/// Wraps a [`CountMin`] whose counters serve purely as the Linear Counting
+/// occupancy map — the wrapper deliberately exposes no per-item frequency
+/// surface, which is what lets it demonstrate that the `salsa-pipeline`
+/// machinery accepts summaries outside the `FrequencyEstimator` family.
+/// With sum-merge rows (e.g. [`FixedRow`](salsa_core::fixed::FixedRow)) the
+/// counter state after a counter-wise merge is byte-identical to a single
+/// unsharded run, so the sharded distinct estimate is *exactly* the
+/// unsharded one (Section V).
+#[derive(Debug, Clone)]
+pub struct DistinctCounter<R: Row> {
+    cms: CountMin<R>,
+}
+
+impl<R: Row> DistinctCounter<R> {
+    /// Wraps an (empty) Count-Min sketch as a distinct counter.
+    pub fn new(cms: CountMin<R>) -> Self {
+        Self { cms }
+    }
+
+    /// Records one occurrence of `item`.
+    pub fn update(&mut self, item: u64) {
+        self.cms.update(item, 1);
+    }
+
+    /// Records a batch of occurrences.
+    pub fn batch_update(&mut self, items: &[u64]) {
+        self.cms.update_batch(items);
+    }
+
+    /// Estimates the number of distinct items seen so far (Linear Counting
+    /// averaged over the rows); `None` once every counter is occupied.
+    pub fn estimate_distinct(&self) -> Option<f64> {
+        self.cms.estimate_distinct()
+    }
+
+    /// Total memory used, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.cms.size_bytes()
+    }
+
+    /// Borrows the underlying occupancy sketch.
+    pub fn inner(&self) -> &CountMin<R> {
+        &self.cms
+    }
+}
+
+impl<R: Row + Clone> DistinctCounter<R> {
+    /// Bytes copied when the counter is cloned for a snapshot.
+    pub fn clone_cost_bytes(&self) -> usize {
+        self.cms.clone_cost_bytes()
+    }
+}
+
+impl<R: Row + RowMerge> DistinctCounter<R> {
+    /// Counter-wise merges `other` into `self` (same seed/shape enforced);
+    /// afterwards the estimate covers the union of both input streams.
+    pub fn merge_from(&mut self, other: &Self) {
+        self.cms.merge_from(&other.cms);
     }
 }
 
@@ -131,6 +195,40 @@ mod tests {
             (after - before).abs() / before < 0.25,
             "before {before}, after {after}"
         );
+    }
+
+    #[test]
+    fn distinct_counter_merge_is_exact_for_sum_rows() {
+        let make = || DistinctCounter::new(CountMin::baseline(4, 1 << 14, 32, 7));
+        let mut whole = make();
+        let mut left = make();
+        let mut right = make();
+        for item in 0..6_000u64 {
+            whole.update(item);
+            if item % 2 == 0 {
+                left.update(item);
+            } else {
+                right.update(item);
+            }
+        }
+        left.merge_from(&right);
+        // Sum-merge rows: the merged occupancy map is byte-identical to the
+        // unsharded one, so the estimates match exactly.
+        assert_eq!(left.estimate_distinct(), whole.estimate_distinct());
+        let est = whole.estimate_distinct().expect("not saturated");
+        assert!((est - 6_000.0).abs() / 6_000.0 < 0.05);
+    }
+
+    #[test]
+    fn distinct_counter_batch_matches_loop() {
+        let items: Vec<u64> = (0..3_000u64).map(|i| i % 500).collect();
+        let mut batched = DistinctCounter::new(CountMin::baseline(4, 1 << 12, 32, 3));
+        batched.batch_update(&items);
+        let mut looped = DistinctCounter::new(CountMin::baseline(4, 1 << 12, 32, 3));
+        for &item in &items {
+            looped.update(item);
+        }
+        assert_eq!(batched.estimate_distinct(), looped.estimate_distinct());
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct TopK {
 }
 
 impl TopK {
+    /// Approximate bytes copied per tracked entry when the tracker is cloned:
+    /// one hash-map entry plus one ordered-set entry, both keyed by
+    /// `(u64, u64)` pairs.
+    pub const ENTRY_COST_BYTES: usize = 48;
+
     /// Creates a tracker for the top `k` items.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
@@ -96,6 +101,11 @@ impl TopK {
     /// The smallest tracked estimate (the heap's current threshold).
     pub fn threshold(&self) -> u64 {
         self.ordered.iter().next().map(|&(est, _)| est).unwrap_or(0)
+    }
+
+    /// Bytes copied when the tracker is cloned for a point-in-time snapshot.
+    pub fn clone_cost_bytes(&self) -> usize {
+        self.len() * Self::ENTRY_COST_BYTES
     }
 }
 

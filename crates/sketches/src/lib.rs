@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::cold_filter::ColdFilter;
     pub use crate::cs::CountSketch;
     pub use crate::cus::ConservativeUpdate;
-    pub use crate::distinct::{distinct_from_rows, linear_counting};
+    pub use crate::distinct::{distinct_from_rows, linear_counting, DistinctCounter};
     pub use crate::estimator::FrequencyEstimator;
     pub use crate::heavy_hitters::TopK;
     pub use crate::memory::{width_for_budget, width_for_budget_bits};

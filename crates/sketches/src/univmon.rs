@@ -15,6 +15,7 @@
 use salsa_core::compact::LayoutCodes;
 use salsa_core::encoding::MergeEncoding;
 use salsa_core::fixed::FixedSignedRow;
+use salsa_core::merge::RowMerge;
 use salsa_core::row::SalsaSignedRow;
 use salsa_core::traits::SignedRow;
 use salsa_hash::BobHash;
@@ -104,6 +105,14 @@ impl<S: SignedRow> UnivMon<S> {
         }
     }
 
+    /// Processes a batch of unit-weight updates (`⟨item, 1⟩` per item) — the
+    /// sharded pipeline's hot path.
+    pub fn batch_update(&mut self, items: &[u64]) {
+        for &item in items {
+            self.update(item, 1);
+        }
+    }
+
     /// Estimates the G-sum `Σ_x G(f_x)` with the recursive UnivMon estimator.
     ///
     /// `g` receives an estimated frequency (always ≥ 1) and returns `G(f)`.
@@ -155,6 +164,68 @@ impl<S: SignedRow> UnivMon<S> {
         let n = self.total as f64;
         let flogf = self.g_sum(|f| f * f.log2());
         (n.log2() - flogf / n).max(0.0)
+    }
+}
+
+impl<S: SignedRow + Clone> UnivMon<S> {
+    /// Bytes copied when this sketch is cloned for a point-in-time snapshot:
+    /// the counter storage of every level's Count Sketch plus the tracked
+    /// heap entries (the sampler is a single seed and is ignored).
+    pub fn clone_cost_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.sketch.clone_cost_bytes() + l.heap.len() * TopK::ENTRY_COST_BYTES)
+            .sum()
+    }
+}
+
+impl<S: SignedRow + RowMerge> UnivMon<S> {
+    /// Counter-wise merges `other` into `self` (same seeds, level count and
+    /// per-level shape enforced): afterwards this sketch summarizes the union
+    /// of the two input streams.
+    ///
+    /// Every level's Count Sketch merges counter-wise (plain signed sums, so
+    /// per-row values are identical to a sketch fed both streams — Section V;
+    /// SALSA CS stays unbiased across the merge, Lemma V.4).  The level's
+    /// heavy-hitter heap cannot be summed the same way: the tracked estimates
+    /// were taken on-arrival against each operand's *partial* stream.  It is
+    /// instead rebuilt by re-estimating the union of both heaps' tracked
+    /// items against the merged level sketch, which restores the invariant
+    /// that every tracked estimate reflects the full merged stream.  An item
+    /// is lost only if *neither* operand tracked it — the same items a
+    /// single-stream heap of the combined capacity could have evicted — so
+    /// `g_sum`-class estimates (entropy, moments, distinct) stay within the
+    /// estimator's usual tolerance of an unsharded run (pinned by the
+    /// `univmon_properties` proptests in `salsa-pipeline`).
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.levels.len(),
+            other.levels.len(),
+            "UnivMon level counts must match"
+        );
+        self.total += other.total;
+        for (mine, theirs) in self.levels.iter_mut().zip(other.levels.iter()) {
+            mine.sketch.merge_from(&theirs.sketch);
+            let mut rebuilt = TopK::new(mine.heap.k());
+            for (item, _) in mine.heap.items().into_iter().chain(theirs.heap.items()) {
+                let est = mine.sketch.estimate(item).max(0) as u64;
+                if est > 0 {
+                    rebuilt.offer(item, est);
+                }
+            }
+            mine.heap = rebuilt;
+        }
+    }
+
+    /// Counter-wise merges two sketches into a *new* one, leaving both
+    /// operands untouched (same contract as [`UnivMon::merge_from`]).
+    pub fn merge_into_new(&self, other: &Self) -> Self
+    where
+        S: Clone,
+    {
+        let mut merged = self.clone();
+        merged.merge_from(other);
+        merged
     }
 }
 
@@ -336,6 +407,82 @@ mod tests {
         assert_eq!(um.size_bytes(), 16 * 5 * 256 * 4);
         let salsa = UnivMon::salsa(16, 5, 1024, 8, 100, 1);
         assert_eq!(salsa.size_bytes(), 16 * 5 * (1024 + 128));
+    }
+
+    #[test]
+    fn merge_preserves_g_sum_estimates() {
+        let (stream, counts) = stream_and_truth(60_000, 5_000, 17);
+        let make = || UnivMon::salsa(12, 5, 1 << 10, 8, 100, 3);
+        let mut single = make();
+        for &item in &stream {
+            single.update(item, 1);
+        }
+        // Split the stream in three, sketch each part, merge.
+        let mut merged = make();
+        let mut part_b = make();
+        let mut part_c = make();
+        for (i, &item) in stream.iter().enumerate() {
+            match i % 3 {
+                0 => merged.update(item, 1),
+                1 => part_b.update(item, 1),
+                _ => part_c.update(item, 1),
+            }
+        }
+        merged.merge_from(&part_b);
+        merged.merge_from(&part_c);
+        assert_eq!(merged.total(), single.total());
+        let truth = exact_entropy(&counts);
+        let est = merged.entropy();
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.15, "merged entropy {est} vs exact {truth} ({rel})");
+        let single_est = single.entropy();
+        let drift = (est - single_est).abs() / single_est;
+        assert!(
+            drift < 0.1,
+            "merged entropy {est} vs single-stream {single_est} ({drift})"
+        );
+    }
+
+    #[test]
+    fn merge_into_new_leaves_operands_untouched() {
+        let mut a = UnivMon::baseline(6, 4, 512, 32, 20, 5);
+        let mut b = UnivMon::baseline(6, 4, 512, 32, 20, 5);
+        a.update(1, 10);
+        b.update(2, 20);
+        let merged = a.merge_into_new(&b);
+        assert_eq!(merged.total(), 30);
+        assert_eq!(a.total(), 10);
+        assert_eq!(b.total(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "level counts must match")]
+    fn merge_level_count_mismatch_panics() {
+        let mut a = UnivMon::baseline(6, 4, 512, 32, 20, 5);
+        let b = UnivMon::baseline(8, 4, 512, 32, 20, 5);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn batch_update_matches_unit_updates() {
+        let items: Vec<u64> = (0..2_000u64).map(|i| i % 97).collect();
+        let mut batched = UnivMon::baseline(6, 4, 512, 32, 20, 5);
+        batched.batch_update(&items);
+        let mut looped = UnivMon::baseline(6, 4, 512, 32, 20, 5);
+        for &item in &items {
+            looped.update(item, 1);
+        }
+        assert_eq!(batched.total(), looped.total());
+        assert_eq!(batched.entropy(), looped.entropy());
+    }
+
+    #[test]
+    fn clone_cost_covers_levels_and_heaps() {
+        let mut um = UnivMon::baseline(4, 5, 128, 32, 10, 1);
+        let empty_cost = um.clone_cost_bytes();
+        assert_eq!(empty_cost, 4 * 5 * 128 * 4); // 32-bit counters, empty heaps
+        um.update(7, 3);
+        assert!(um.clone_cost_bytes() > empty_cost);
     }
 
     #[test]

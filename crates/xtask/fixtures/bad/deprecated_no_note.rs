@@ -1,0 +1,12 @@
+//! Bad fixture: deprecations that don't tell the user where to go — a bare
+//! `#[deprecated]`, an empty note, and a note with no backticked
+//! replacement name.
+
+#[deprecated]
+pub fn old_and_silent() {}
+
+#[deprecated(note = "")]
+pub fn old_and_empty() {}
+
+#[deprecated(note = "do not use")]
+pub fn old_and_vague() {}

@@ -1,0 +1,13 @@
+//! Good fixture: every deprecation names its replacement in backticks,
+//! including a multi-line attribute.
+
+#[deprecated(note = "renamed to `shiny_new`")]
+pub fn old_but_helpful() {}
+
+#[deprecated(
+    since = "0.7.0",
+    note = "split into `StreamSummary` + `FrequencyQueries`"
+)]
+pub fn old_but_thorough() {}
+
+pub fn shiny_new() {}

@@ -22,8 +22,12 @@
 //! 5. **Snapshots are `#[must_use]`** — a `pub fn` in `crates/pipeline/src`
 //!    whose return type mentions `SnapshotView` must be `#[must_use]`
 //!    (assembling one clones every shard's sketch).
+//! 6. **Deprecations name their replacement** — every `#[deprecated]`
+//!    attribute must carry `note = "…"` whose text names the replacement
+//!    in backticks, so `cargo`'s deprecation warning tells the user where
+//!    to go instead of just "don't" (all scanned files).
 //!
-//! `#[cfg(test)]` modules are skipped (rules 3–5; rule 1 applies
+//! `#[cfg(test)]` modules are skipped (rules 3–6; rule 1 applies
 //! everywhere).  In tree mode (no file arguments) only `crates/*/src` is
 //! scanned and the per-crate scopes above apply; with explicit file
 //! arguments every rule is applied to every named file, which is what the
@@ -220,6 +224,13 @@ fn scan_source(path_label: &str, source: &str, scope: Scope, findings: &mut Vec<
         if mask[idx] {
             continue;
         }
+        // Rule 6 is scope-free: a replacement-less deprecation is equally
+        // unhelpful wherever it lives.
+        if has_token(&code, "deprecated") && code.contains("#[deprecated") {
+            if let Some(message) = check_deprecated_note(&lines, idx) {
+                push(idx, "deprecated-note", message);
+            }
+        }
         if scope.relaxed
             && code.contains("Ordering::Relaxed")
             && !has_annotation(&lines, idx, "// RELAXED-OK:")
@@ -269,6 +280,37 @@ fn scan_source(path_label: &str, source: &str, scope: Scope, findings: &mut Vec<
                 );
             }
         }
+    }
+}
+
+/// Rule 6: joins the `#[deprecated…]` attribute starting at `idx` (up to
+/// four raw lines, until its closing `]`) and checks it carries a
+/// `note = "…"` whose text is non-empty and names the replacement in
+/// backticks.  Returns the violation message, or `None` when compliant.
+fn check_deprecated_note(lines: &[&str], idx: usize) -> Option<String> {
+    let mut attr = String::new();
+    for raw in lines.iter().skip(idx).take(4) {
+        attr.push_str(raw);
+        attr.push(' ');
+        if raw.contains(']') {
+            break;
+        }
+    }
+    let after_note = match attr.split_once("note") {
+        Some((_, rest)) => rest,
+        None => return Some("#[deprecated] without a note = \"…\" naming the replacement".into()),
+    };
+    let quoted = after_note
+        .split_once('"')
+        .and_then(|(_, rest)| rest.split_once('"'))
+        .map(|(text, _)| text)
+        .unwrap_or("");
+    if quoted.trim().is_empty() {
+        Some("#[deprecated] note must not be empty".into())
+    } else if !quoted.contains('`') {
+        Some("#[deprecated] note must name the replacement in `backticks`".into())
+    } else {
+        None
     }
 }
 
@@ -423,11 +465,22 @@ mod tests {
         assert!(
             rules(&strict_findings("bad/snapshot_no_must_use.rs")).contains(&"snapshot-must-use")
         );
+        let deprecated = strict_findings("bad/deprecated_no_note.rs");
+        assert_eq!(
+            rules(&deprecated),
+            vec!["deprecated-note"; 3],
+            "bare, empty-note and vague-note deprecations each trip: {deprecated:?}"
+        );
     }
 
     #[test]
     fn good_fixtures_are_clean() {
-        for rel in ["good/lib.rs", "good/unsafe_ok.rs", "good/test_mod.rs"] {
+        for rel in [
+            "good/lib.rs",
+            "good/unsafe_ok.rs",
+            "good/test_mod.rs",
+            "good/deprecated_note.rs",
+        ] {
             let findings = strict_findings(rel);
             assert!(findings.is_empty(), "{rel}: {findings:?}");
         }

@@ -16,7 +16,7 @@
 use std::time::Duration;
 
 use salsa_examples::human_bytes;
-use salsa_pipeline::{PipelineConfig, ShardedPipeline, SnapshotableSketch};
+use salsa_pipeline::{PipelineConfig, ShardedPipeline, SnapshotSummary};
 use salsa_sketches::prelude::*;
 use salsa_workloads::TraceSpec;
 
@@ -40,7 +40,7 @@ fn main() {
     let handle = pipeline.live_handle();
     println!(
         "4 shards, {} per snapshot clone; querying while {updates} updates stream in\n",
-        human_bytes(SnapshotableSketch::clone_cost_bytes(&make(0)))
+        human_bytes(SnapshotSummary::clone_cost_bytes(&make(0)))
     );
 
     let querier = std::thread::spawn(move || {

@@ -40,7 +40,7 @@ fn main() {
     );
 
     for partition in [Partition::ByKey, Partition::RoundRobin] {
-        let config = PipelineConfig::new(4).with_partition(partition);
+        let config = PipelineConfig::new(4).partition(partition);
         let out = run_sharded(&config, make, &items);
 
         let diff = (0..universe as u64)

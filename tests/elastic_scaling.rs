@@ -61,7 +61,7 @@ fn assert_counter_identical(a: &CountMin<SimpleSalsaRow>, b: &CountMin<SimpleSal
 #[test]
 fn rescaling_1_4_2_mid_stream_is_byte_identical_with_live_queries_throughout() {
     let items = trace();
-    let config = PipelineConfig::new(1).with_batch_size(256);
+    let config = PipelineConfig::new(1).batch_size(256);
     let mut pipeline = ElasticPipeline::new(&config, make_cms());
     let handle = pipeline.handle();
     let full = unsharded(&items);
@@ -127,8 +127,8 @@ fn rescaling_1_4_2_mid_stream_is_byte_identical_with_live_queries_throughout() {
 fn round_robin_elastic_runs_are_also_exact() {
     let items = trace();
     let config = PipelineConfig::new(3)
-        .with_partition(Partition::RoundRobin)
-        .with_batch_size(128);
+        .partition(Partition::RoundRobin)
+        .batch_size(128);
     let mut pipeline = ElasticPipeline::new(&config, make_cms());
     pipeline.extend(&items[..25_000]);
     pipeline.rescale(1);
@@ -168,8 +168,7 @@ fn threshold_policy_grows_under_synthetic_backlog() {
     // policy unit tests cover the decision logic exhaustively; here we
     // check the loop actually rescales a running pipeline.)
     let items = trace();
-    let mut pipeline =
-        ElasticPipeline::new(&PipelineConfig::new(1).with_batch_size(32), make_cms());
+    let mut pipeline = ElasticPipeline::new(&PipelineConfig::new(1).batch_size(32), make_cms());
     let mut monitor = LoadMonitor::new();
     let mut policy = Threshold::new(1, 4, 1, 0.0)
         .with_patience(1)

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use salsa_core::prelude::*;
 use salsa_pipeline::{
-    CachePolicy, LiveHandle, Partition, PipelineConfig, ShardedPipeline, SnapshotableSketch,
+    CachePolicy, LiveHandle, Partition, PipelineConfig, ShardedPipeline, SnapshotSummary,
 };
 use salsa_sketches::prelude::*;
 use salsa_workloads::TraceSpec;
@@ -46,7 +46,7 @@ fn unsharded(items: &[u64]) -> CountMin<SimpleSalsaRow> {
 fn snapshot_at_epoch_e_equals_unsharded_prefix_sketch() {
     let items = trace();
     for partition in [Partition::ByKey, Partition::RoundRobin] {
-        let config = PipelineConfig::new(4).with_partition(partition);
+        let config = PipelineConfig::new(4).partition(partition);
         let mut pipeline = ShardedPipeline::new(&config, make_cms());
         let mut fed = 0usize;
         for cut in [7_001, 23_456, 44_000, UPDATES] {
@@ -76,7 +76,7 @@ fn snapshot_at_epoch_e_equals_unsharded_prefix_sketch() {
 #[test]
 fn concurrent_snapshots_have_monotone_epochs_and_consistent_bounds() {
     let items = trace();
-    let config = PipelineConfig::new(3).with_batch_size(256);
+    let config = PipelineConfig::new(3).batch_size(256);
     let mut pipeline = ShardedPipeline::new(&config, make_cms());
     let handle = pipeline.live_handle();
     let single = unsharded(&items);
@@ -170,7 +170,7 @@ fn snapshot_top_k_finds_the_heavy_hitters() {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
         items.swap(i, (state >> 33) as usize % (i + 1));
     }
-    let config = PipelineConfig::new(3).with_batch_size(128);
+    let config = PipelineConfig::new(3).batch_size(128);
     let mut pipeline =
         ShardedPipeline::new(&config, |_| CountMin::salsa(4, 4096, 8, MergeOp::Sum, 23));
     pipeline.extend(&items);
@@ -201,7 +201,7 @@ fn handles_go_dark_after_finish() {
 #[test]
 fn cached_snapshots_reuse_views_within_the_staleness_budget() {
     let items = trace();
-    let config = PipelineConfig::new(3).with_batch_size(256);
+    let config = PipelineConfig::new(3).batch_size(256);
     let mut pipeline = ShardedPipeline::new(&config, make_cms());
     pipeline.extend(&items[..30_000]);
     pipeline.drain();
@@ -254,6 +254,6 @@ fn snapshot_views_report_serving_metadata() {
     assert!(view.assembly_time() <= view.staleness());
     // Clone-cost accounting: a snapshot copies at least the counter
     // storage of every shard's sketch.
-    assert!(SnapshotableSketch::clone_cost_bytes(view.merged()) >= view.merged().size_bytes());
+    assert!(SnapshotSummary::clone_cost_bytes(view.merged()) >= view.merged().size_bytes());
     pipeline.finish();
 }

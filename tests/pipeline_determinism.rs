@@ -10,7 +10,7 @@
 //! encodings) CMS.
 
 use salsa_core::prelude::*;
-use salsa_pipeline::{run_sharded, Partition, PipelineConfig, SnapshotableSketch};
+use salsa_pipeline::{run_sharded, FrequencyQueries, Partition, PipelineConfig, SnapshotSummary};
 use salsa_sketches::prelude::*;
 use salsa_workloads::TraceSpec;
 
@@ -29,21 +29,21 @@ fn trace() -> Vec<u64> {
 
 /// Feeds the whole stream to one sketch through the same batched hot path
 /// the pipeline workers use.
-fn unsharded<S: SnapshotableSketch>(mut sketch: S, items: &[u64]) -> S {
+fn unsharded<S: SnapshotSummary>(mut sketch: S, items: &[u64]) -> S {
     for chunk in items.chunks(PipelineConfig::DEFAULT_BATCH_SIZE) {
-        sketch.batch_update(chunk);
+        sketch.ingest(chunk);
     }
     sketch
 }
 
 fn assert_identical<S, F>(make: F, items: &[u64], partition: Partition, label: &str)
 where
-    S: SnapshotableSketch,
+    S: SnapshotSummary + FrequencyQueries,
     F: Fn(usize) -> S + Copy,
 {
     let single = unsharded(make(0), items);
     for shards in [2usize, 4, 5] {
-        let config = PipelineConfig::new(shards).with_partition(partition);
+        let config = PipelineConfig::new(shards).partition(partition);
         let out = run_sharded(&config, make, items);
         assert_eq!(out.items, items.len() as u64);
         for item in 0..UNIVERSE as u64 {
