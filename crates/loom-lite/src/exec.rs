@@ -320,6 +320,9 @@ pub(crate) fn run_thread<T>(
             id,
         })
     });
+    // UNWIND-OK: a panic in the modeled body is the checker's signal —
+    // caught here and reported as the failing interleaving (or as the
+    // Abort control-flow payload), never propagated to the harness.
     let result = catch_unwind(AssertUnwindSafe(|| {
         let st = exec.lock_state();
         exec.wait_for_turn(st, id);

@@ -1,0 +1,114 @@
+//! Fault-tolerance counters for the pipeline's supervision layer.
+//!
+//! When a shard worker panics, is restarted, or a blocking edge times out,
+//! the supervisor (in `salsa-pipeline`) records the event here so operators
+//! and tests can watch the pipeline degrade and recover without scraping
+//! logs.  A [`Counter`] is a monotone event count behind an atomic — writes
+//! never block the ingest path — and [`HealthCounters`] groups the events
+//! the fault-tolerance layer emits.  Share one instance behind an `Arc`
+//! between the pipeline and whoever watches it, exactly like
+//! [`LoadGauges`](crate::load::LoadGauges).
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free, shareable monotone event counter.
+///
+/// Unlike a [`Gauge`](crate::load::Gauge) (last-write-wins sample), a
+/// `Counter` only ever increments, so concurrent writers from several
+/// pipeline threads compose: the read value is the total number of events.
+#[derive(Debug, Default)]
+pub struct Counter {
+    events: AtomicU64,
+}
+
+impl Counter {
+    /// A counter reading `0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event.
+    pub fn incr(&self) {
+        // RELAXED-OK: a monotone statistics counter; nothing is published
+        // through it (the supervision protocol publishes shard state via
+        // its own Release/Acquire health cells), so no ordering is needed.
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` events at once (e.g. a whole dropped batch).
+    pub fn add(&self, n: u64) {
+        // RELAXED-OK: same as `incr` — an isolated statistics counter.
+        self.events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total events recorded so far.
+    pub fn get(&self) -> u64 {
+        // RELAXED-OK: same as `incr` — an isolated statistics counter.
+        self.events.load(Ordering::Relaxed)
+    }
+}
+
+/// The fault-tolerance events a supervised pipeline records.  Share one
+/// instance (behind an `Arc`) between the pipeline and its observers.
+#[derive(Debug, Default)]
+pub struct HealthCounters {
+    /// Shard worker threads that died to a panic (caught and isolated).
+    pub worker_panics: Counter,
+    /// Shard workers restarted with an empty sketch by the
+    /// restart-recovery policy.
+    pub worker_restarts: Counter,
+    /// Snapshots served with incomplete shard coverage (at least one shard
+    /// down or lost items unrepresented in the view).
+    pub degraded_snapshots: Counter,
+    /// Bounded waits (dispatch backpressure, snapshot or drain replies)
+    /// that hit their deadline.
+    pub timeouts: Counter,
+    /// Items acknowledged as lost: applied by a shard that later died
+    /// without recovery, or dropped because their shard was down.
+    pub dropped_items: Counter,
+}
+
+impl HealthCounters {
+    /// Fresh counters, all reading `0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates_monotonically() {
+        let counter = Counter::new();
+        assert_eq!(counter.get(), 0);
+        counter.incr();
+        counter.incr();
+        counter.add(40);
+        assert_eq!(counter.get(), 42);
+    }
+
+    #[test]
+    fn counters_compose_across_threads() {
+        let health = Arc::new(HealthCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let health = Arc::clone(&health);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        health.worker_panics.incr();
+                    }
+                    health.dropped_items.add(10);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("writer thread panicked");
+        }
+        assert_eq!(health.worker_panics.get(), 4_000);
+        assert_eq!(health.dropped_items.get(), 40);
+        assert_eq!(health.worker_restarts.get(), 0);
+    }
+}

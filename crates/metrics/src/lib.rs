@@ -21,13 +21,17 @@
 //!   path of `salsa-pipeline`;
 //! * lock-free load gauges ([`load::LoadGauges`]) published by the elastic
 //!   control plane's monitor (shard count, queue depth, ingest rate,
-//!   utilization) for scaling policies and exporters to read.
+//!   utilization) for scaling policies and exporters to read;
+//! * fault-tolerance counters ([`health::HealthCounters`]) recorded by the
+//!   pipeline's supervision layer (worker panics, restarts, degraded
+//!   snapshots, timeouts, dropped items).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod ground_truth;
+pub mod health;
 pub mod latency;
 pub mod load;
 pub mod stats;
@@ -36,6 +40,7 @@ pub mod throughput;
 
 pub use error::{average_errors, relative_error, AverageErrors, OnArrivalError};
 pub use ground_truth::GroundTruth;
+pub use health::{Counter, HealthCounters};
 pub use latency::{LatencySeries, StalenessTracker};
 pub use load::{Gauge, LoadGauges};
 pub use stats::Summary;

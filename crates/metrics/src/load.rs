@@ -57,6 +57,9 @@ pub struct LoadGauges {
     /// (busy-seconds / wall-seconds, clamped to `0.0..=1.0`): the idleness
     /// signal a shrink decision watches.
     pub utilization: Gauge,
+    /// Worker shards currently down (dead to a panic and not restarted).
+    /// `0.0` whenever the pipeline is healthy.
+    pub shards_down: Gauge,
 }
 
 impl LoadGauges {

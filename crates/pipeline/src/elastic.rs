@@ -35,10 +35,12 @@ use std::time::{Duration, Instant};
 
 use crate::sync::{Arc, RwLock};
 
+use crate::error::PipelineError;
 use crate::live::{CachePolicy, CachedSnapshots, LiveHandle, SnapshotSource};
 use crate::policy::{LoadMonitor, ScalingPolicy};
 use crate::sharded::{PipelineOutput, ShardLoad, ShardStats, ShardedPipeline};
 use crate::snapshot::SnapshotView;
+use crate::supervisor::RetryPolicy;
 use crate::{FrequencyQueries, PipelineConfig, SnapshotSummary};
 
 /// State shared between the producer and every [`ElasticHandle`], swapped
@@ -264,6 +266,13 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
         self.inner().shard_loads()
     }
 
+    /// The live generation's per-shard health board (see
+    /// [`ShardHealth`](crate::ShardHealth)).  A rescale replaces the board
+    /// along with the workers, so don't cache the reference across one.
+    pub fn health(&self) -> &Arc<crate::ShardHealth> {
+        self.inner().health()
+    }
+
     /// Feeds one item into the live generation.
     #[inline]
     pub fn push(&mut self, item: u64) {
@@ -324,6 +333,7 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
             merged: mut sealing,
             shards: shard_stats,
             items,
+            ..
         } = old.finish();
         let start_epoch = self.base_epoch;
         self.base_epoch += items;
@@ -387,6 +397,7 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
     pub fn handle(&self) -> ElasticHandle<S> {
         ElasticHandle {
             shared: Arc::clone(&self.shared),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -415,6 +426,7 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
             merged: last,
             shards: shard_stats,
             items,
+            ..
         } = self
             .inner
             .take()
@@ -463,7 +475,7 @@ fn rebase<S: SnapshotSummary>(
     base_epoch: u64,
     generation: u64,
 ) -> SnapshotView<S> {
-    let (mut live_merged, live_epoch, shards, issued) = view.into_parts();
+    let (mut live_merged, live_epoch, coverage, shards, issued) = view.into_parts();
     if let Some(sealed) = sealed {
         live_merged.merge_from(&sealed);
     }
@@ -471,6 +483,7 @@ fn rebase<S: SnapshotSummary>(
         live_merged,
         base_epoch + live_epoch,
         generation,
+        coverage,
         shards,
         issued,
     )
@@ -488,12 +501,14 @@ fn rebase<S: SnapshotSummary>(
 /// after [`ElasticPipeline::finish`].
 pub struct ElasticHandle<S: SnapshotSummary> {
     shared: Arc<RwLock<Shared<S>>>,
+    retry: RetryPolicy,
 }
 
 impl<S: SnapshotSummary> Clone for ElasticHandle<S> {
     fn clone(&self) -> Self {
         Self {
             shared: Arc::clone(&self.shared),
+            retry: self.retry,
         }
     }
 }
@@ -530,38 +545,77 @@ impl<S: SnapshotSummary> ElasticHandle<S> {
                 .map_or(0, |live| SnapshotSource::acknowledged(live))
     }
 
+    /// Returns this handle with a different [`RetryPolicy`] bounding its
+    /// seal-window retry loop (see [`ElasticHandle::try_snapshot`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Takes a consistent, epoch-stamped snapshot covering the *whole*
     /// stream — every sealed generation folded with clones of the live
     /// shards — without stopping ingestion.
     ///
     /// Successive calls through one handle see non-decreasing epochs, even
     /// across rescales.  A call that races a rescale retries against the
-    /// new generation (blocking at most for the seal window).  Returns
-    /// `None` once the pipeline has finished.
+    /// freshly published generation with exponential backoff, bounded by
+    /// the handle's [`RetryPolicy`] deadline (5s by default, configurable
+    /// via [`ElasticHandle::with_retry`]) — far above any drain-bound seal
+    /// window, so the deadline fires only when the pipeline is genuinely
+    /// stuck, as [`PipelineError::Timeout`].  Other failure modes pass
+    /// through from [`LiveHandle::try_snapshot`]: views over dead shards
+    /// degrade (check [`SnapshotView::is_degraded`]), a finished pipeline
+    /// is [`PipelineError::Finished`].
     #[must_use = "assembling a snapshot clones every shard's summary; dropping it wastes that work"]
-    pub fn snapshot(&self) -> Option<SnapshotView<S>> {
+    pub fn try_snapshot(&self) -> Result<SnapshotView<S>, PipelineError> {
+        let started = Instant::now();
+        let mut pause = self.retry.backoff.initial;
         loop {
             let (live, sealed, base_epoch, generation) = {
                 // PANIC-OK: same poisoning argument as `shards`.
                 let shared = self.shared.read().expect("elastic state lock poisoned");
+                let Some(live) = shared.live.as_ref() else {
+                    return Err(PipelineError::Finished);
+                };
                 (
-                    shared.live.as_ref()?.clone(),
+                    live.clone(),
                     shared.sealed.clone(),
                     shared.base_epoch,
                     shared.generation,
                 )
             };
-            match SnapshotSource::snapshot(&live) {
-                Some(view) => return Some(rebase(view, sealed, base_epoch, generation)),
+            match live.try_snapshot() {
+                Ok(view) => return Ok(rebase(view, sealed, base_epoch, generation)),
+                // A wedged worker missed its reply deadline: retrying
+                // against the same generation cannot help.
+                Err(err @ PipelineError::Timeout { .. }) => return Err(err),
                 // The generation died between reading the state and the
                 // snapshot reply: a rescale is sealing it.  Sleep briefly
                 // rather than spin — the seal window is drain-bound
                 // (milliseconds), so a pure yield loop would burn a core
                 // per waiting query thread, competing with the very drain
-                // being waited on.
-                None => std::thread::sleep(Duration::from_micros(100)),
+                // being waited on.  Backoff doubles up to the policy cap;
+                // past the deadline the pipeline is stuck, not sealing.
+                Err(_) => {
+                    if started.elapsed() >= self.retry.deadline {
+                        return Err(PipelineError::Timeout {
+                            operation: "seal-window retry",
+                            waited: started.elapsed(),
+                        });
+                    }
+                    std::thread::sleep(pause);
+                    pause = self.retry.backoff.next(pause);
+                }
             }
         }
+    }
+
+    /// [`ElasticHandle::try_snapshot`] flattened to an `Option`: `None`
+    /// once the pipeline has finished or when no view could be assembled
+    /// within the retry deadline.
+    #[must_use = "assembling a snapshot clones every shard's summary; dropping it wastes that work"]
+    pub fn snapshot(&self) -> Option<SnapshotView<S>> {
+        self.try_snapshot().ok()
     }
 
     /// Wraps this handle in a [`CachedSnapshots`] layer (see

@@ -47,6 +47,15 @@
 //!   [`policy::ScalingPolicy`] implementations deciding when to scale.
 //!   For sum-merge rows the merged view stays byte-identical to an
 //!   unsharded run no matter how many rescales happen mid-stream.
+//! * The pipeline is **fault-tolerant**: worker panics are caught and
+//!   published to a [`ShardHealth`] board instead of poisoning the
+//!   pipeline, queries degrade to the surviving shards (every
+//!   [`SnapshotView`] carries [`CoverageMeta`] naming the gap), a
+//!   [`SupervisorConfig`] picks the [`Recovery`] policy (degrade, or
+//!   restart dead shards with empty sketches) and bounds every blocking
+//!   edge with deadlines, `try_*` variants report failures as typed
+//!   [`PipelineError`]s, and a [`chaos`] fault-injection module scripts
+//!   worker failures deterministically for tests and benches.
 //!
 //! ```
 //! use salsa_pipeline::{run_sharded, PipelineConfig};
@@ -104,25 +113,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod elastic;
+pub mod error;
 pub mod live;
 pub mod policy;
 pub mod sharded;
 pub mod snapshot;
 pub mod summary;
+pub mod supervisor;
 pub mod sync;
 
+pub use chaos::{silence_worker_panics, FaultKind, FaultPlan, INJECTED_PANIC};
 pub use elastic::{ElasticHandle, ElasticOutput, ElasticPipeline, GenerationInfo, RescaleEvent};
+pub use error::PipelineError;
 pub use live::{CachePolicy, CachedSnapshots, LiveHandle, SnapshotSource};
 pub use policy::{LoadMonitor, LoadSnapshot, Manual, ScalingPolicy, Threshold};
 pub use sharded::{run_sharded, PipelineOutput, ShardLoad, ShardStats, ShardedPipeline};
-pub use snapshot::SnapshotView;
+pub use snapshot::{CoverageMeta, SnapshotView};
 pub use summary::{
     DistinctQueries, FrequencyQueries, SnapshotSummary, StreamSummary, Tracked, TrackedQueries,
     UniversalQueries,
 };
 #[allow(deprecated)] // re-exported for one release so old imports keep working
 pub use summary::{MergeableSketch, SnapshotableSketch};
+pub use supervisor::{Backoff, Recovery, RetryPolicy, ShardHealth, ShardState, SupervisorConfig};
 
 /// Default seed of the router hash.  It is fixed (and distinct from typical
 /// sketch seeds) so that routing is independent of the row hash functions:

@@ -10,65 +10,121 @@
 //! [`ShardStats::snapshot_secs`](crate::ShardStats::snapshot_secs) and
 //! bounded by [`SnapshotSummary::clone_cost_bytes`].
 
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
 use std::time::{Duration, Instant};
 
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::{Arc, Mutex};
+use crate::sync::{Arc, Mutex, RwLock};
 
 use salsa_hash::BobHash;
+use salsa_metrics::HealthCounters;
 
+use crate::error::PipelineError;
 use crate::sharded::{Command, ShardProgress};
-use crate::snapshot::SnapshotView;
+use crate::snapshot::{CoverageMeta, SnapshotView};
+use crate::supervisor::{ShardHealth, ShardState};
 use crate::{FrequencyQueries, Partition, SnapshotSummary};
+
+/// The shard workers' command senders, shared between the producer and
+/// every [`LiveHandle`] so a restarted shard's fresh channel is visible to
+/// handles created before the restart.  The producer replaces one entry per
+/// restart; handles clone the current senders per snapshot.
+pub(crate) type SenderDirectory<S> = Arc<RwLock<Vec<SyncSender<Command<S>>>>>;
 
 /// A clonable handle for querying a [`ShardedPipeline`] from other threads
 /// while ingestion continues.
 ///
 /// Obtain one with [`ShardedPipeline::live_handle`].  Every query returns
 /// `None` once [`ShardedPipeline::finish`] has shut the workers down, so a
-/// query thread can simply loop until its handle goes dark.
+/// query thread can simply loop until its handle goes dark.  While shard
+/// workers are *dead* (panicked) rather than stopped, queries keep working
+/// against the survivors: views carry coverage metadata naming the gap, and
+/// the `try_` variants report the failure modes as typed
+/// [`PipelineError`]s.
 ///
 /// [`ShardedPipeline`]: crate::ShardedPipeline
 /// [`ShardedPipeline::live_handle`]: crate::ShardedPipeline::live_handle
 /// [`ShardedPipeline::finish`]: crate::ShardedPipeline::finish
 pub struct LiveHandle<S: SnapshotSummary> {
-    senders: Vec<SyncSender<Command<S>>>,
+    senders: SenderDirectory<S>,
     progress: Vec<Arc<ShardProgress>>,
     partition: Partition,
     router: BobHash,
+    health: Arc<ShardHealth>,
+    counters: Arc<HealthCounters>,
+    snapshot_timeout: Duration,
 }
 
 impl<S: SnapshotSummary> Clone for LiveHandle<S> {
     fn clone(&self) -> Self {
         Self {
-            senders: self.senders.clone(),
+            senders: Arc::clone(&self.senders),
             progress: self.progress.clone(),
             partition: self.partition,
             router: self.router,
+            health: Arc::clone(&self.health),
+            counters: Arc::clone(&self.counters),
+            snapshot_timeout: self.snapshot_timeout,
         }
     }
 }
 
 impl<S: SnapshotSummary> LiveHandle<S> {
     pub(crate) fn new(
-        senders: Vec<SyncSender<Command<S>>>,
+        senders: SenderDirectory<S>,
         progress: Vec<Arc<ShardProgress>>,
         partition: Partition,
         router: BobHash,
+        health: Arc<ShardHealth>,
+        counters: Arc<HealthCounters>,
+        snapshot_timeout: Duration,
     ) -> Self {
         Self {
             senders,
             progress,
             partition,
             router,
+            health,
+            counters,
+            snapshot_timeout,
+        }
+    }
+
+    /// The current command senders, one per shard.  Cloned out of the
+    /// shared directory so a shard restarted after this handle was created
+    /// is still reachable.
+    fn current_senders(&self) -> Vec<SyncSender<Command<S>>> {
+        self.senders
+            .read()
+            // PANIC-OK: the directory lock only guards sender replacement
+            // on a shard restart; no user code runs under it, so poisoning
+            // is unreachable.
+            .expect("sender directory lock poisoned")
+            .clone()
+    }
+
+    /// Classifies a shard whose channel turned out to be disconnected: a
+    /// cleanly stopped worker means the pipeline finished; anything else is
+    /// a dead shard.  The worker publishes its fate *before* the channel
+    /// disconnects, so this read is never ahead of the failure it explains.
+    fn shard_gone(&self, shard: usize) -> PipelineError {
+        if self.health.state(shard) == ShardState::Stopped {
+            PipelineError::Finished
+        } else {
+            PipelineError::ShardDown { shard }
         }
     }
 
     /// Number of worker shards behind this handle.
     #[inline]
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.progress.len()
+    }
+
+    /// The shared per-shard health board (see [`ShardHealth`]).
+    #[inline]
+    pub fn health(&self) -> &Arc<ShardHealth> {
+        &self.health
     }
 
     /// The pipeline's partitioning mode.
@@ -93,71 +149,173 @@ impl<S: SnapshotSummary> LiveHandle<S> {
     pub fn owner_of(&self, item: u64) -> Option<usize> {
         match self.partition {
             Partition::ByKey => {
-                Some((self.router.hash_u64(item) % self.senders.len() as u64) as usize)
+                Some((self.router.hash_u64(item) % self.progress.len() as u64) as usize)
             }
             Partition::RoundRobin => None,
         }
     }
 
-    /// Takes a consistent snapshot of every shard and merges the clones
-    /// into one epoch-stamped [`SnapshotView`], without stopping ingestion.
+    /// Takes a consistent snapshot of every *reachable* shard and merges
+    /// the clones into one epoch-stamped [`SnapshotView`], without stopping
+    /// ingestion.
     ///
     /// The epoch is the sum of the per-shard prefixes the view reflects;
     /// successive calls through one handle see non-decreasing epochs.
-    /// Returns `None` once the pipeline has been finished.
+    /// Dead shards do not fail the call: the view degrades past them, and
+    /// [`SnapshotView::coverage`] names the gap.  Errors are reserved for
+    /// states where no view can be served at all:
+    ///
+    /// * [`PipelineError::Finished`] — the pipeline shut down cleanly;
+    /// * [`PipelineError::AllShardsDown`] — every worker died;
+    /// * [`PipelineError::Timeout`] — a shard's reply missed the configured
+    ///   [`snapshot_timeout`](crate::SupervisorConfig::snapshot_timeout)
+    ///   (a wedged worker, not a dead one).
     #[must_use = "assembling a snapshot clones every shard's summary; dropping it wastes that work"]
-    pub fn snapshot(&self) -> Option<SnapshotView<S>> {
+    pub fn try_snapshot(&self) -> Result<SnapshotView<S>, PipelineError> {
         let issued = Instant::now();
         // Request every shard before collecting any reply, so the per-shard
         // prefixes are taken as close together in time as the channels allow.
-        let replies: Vec<_> = self
-            .senders
+        // A failed send means that worker is gone; its fate is classified
+        // below, from the health board.
+        let requests: Vec<_> = self
+            .current_senders()
             .iter()
             .map(|tx| {
                 let (reply_tx, reply_rx) = sync_channel(1);
                 tx.send(Command::Snapshot(reply_tx)).ok().map(|_| reply_rx)
             })
-            .collect::<Option<_>>()?;
-        let mut epoch = 0;
-        let mut shards = Vec::with_capacity(replies.len());
+            .collect();
+        let deadline = issued + self.snapshot_timeout;
+        let mut epoch = 0u64;
+        let mut uncovered = 0u64;
+        let mut shards_failed = 0usize;
+        let mut shards = Vec::with_capacity(requests.len());
         let mut merged: Option<S> = None;
-        for reply in replies {
-            // A recv error means the worker stopped between our send and its
-            // reply (the pipeline is finishing): the snapshot is torn, give up.
-            let shard = reply.recv().ok()?;
-            epoch += shard.stats.items;
-            shards.push(shard.stats);
-            match merged.as_mut() {
-                None => merged = Some(shard.sketch),
-                Some(m) => m.merge_from(&shard.sketch),
+        for (shard, request) in requests.into_iter().enumerate() {
+            let reply = match request {
+                None => None,
+                Some(reply_rx) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match reply_rx.recv_timeout(remaining) {
+                        Ok(reply) => Some(reply),
+                        // The worker died between our send and its reply.
+                        Err(RecvTimeoutError::Disconnected) => None,
+                        Err(RecvTimeoutError::Timeout) => {
+                            self.counters.timeouts.incr();
+                            return Err(PipelineError::Timeout {
+                                operation: "snapshot",
+                                waited: self.snapshot_timeout,
+                            });
+                        }
+                    }
+                }
+            };
+            match reply {
+                Some(reply) => {
+                    epoch += reply.stats.items;
+                    // A restarted shard's reply covers its incarnation only;
+                    // what prior incarnations acknowledged is uncovered.
+                    uncovered += self.progress[shard].lost.load(Ordering::Acquire);
+                    shards.push(reply.stats);
+                    match merged.as_mut() {
+                        None => merged = Some(reply.sketch),
+                        Some(m) => m.merge_from(&reply.sketch),
+                    }
+                }
+                None => {
+                    if let PipelineError::Finished = self.shard_gone(shard) {
+                        return Err(PipelineError::Finished);
+                    }
+                    // A dead shard's published count is frozen; everything
+                    // it acknowledged is missing from this view.
+                    shards_failed += 1;
+                    uncovered += self.progress[shard].applied.load(Ordering::Acquire);
+                }
             }
         }
-        Some(SnapshotView::new(merged?, epoch, shards, issued))
+        let Some(merged) = merged else {
+            return Err(PipelineError::AllShardsDown);
+        };
+        let coverage = CoverageMeta {
+            shards_ok: shards.len(),
+            shards_failed,
+            uncovered_items: uncovered,
+        };
+        if !coverage.is_full() {
+            self.counters.degraded_snapshots.incr();
+        }
+        Ok(SnapshotView::with_coverage(
+            merged, epoch, coverage, shards, issued,
+        ))
     }
 
-    /// Takes a snapshot of a single shard.  The view's epoch is
-    /// shard-local (that shard's acknowledged items).
+    /// [`LiveHandle::try_snapshot`] flattened to an `Option`: `None` once
+    /// the pipeline has finished — or when no view can be assembled at all
+    /// (every worker dead, or a reply deadline expired).  Degraded views
+    /// are `Some`; check [`SnapshotView::is_degraded`].
+    #[must_use = "assembling a snapshot clones every shard's summary; dropping it wastes that work"]
+    pub fn snapshot(&self) -> Option<SnapshotView<S>> {
+        self.try_snapshot().ok()
+    }
+
+    /// Takes a snapshot of a single shard.  The view's epoch (and its
+    /// coverage metadata) is shard-local: that shard's acknowledged items.
     ///
     /// Under [`Partition::ByKey`] the owning shard holds a key's *entire*
     /// sub-stream, so for sum-merge rows a single-shard view never
     /// under-estimates that key and is at most the full merged view's
     /// estimate (it sees only same-shard hash collisions, not the other
     /// shards') — a point-query fast path at a fraction of the clone cost.
+    ///
+    /// Unlike [`LiveHandle::try_snapshot`], a dead shard is an error here
+    /// ([`PipelineError::ShardDown`]): there is no survivor to degrade to.
+    #[must_use = "the snapshot clones the shard's summary; dropping it wastes that work"]
+    pub fn try_snapshot_shard(&self, shard: usize) -> Result<SnapshotView<S>, PipelineError> {
+        let issued = Instant::now();
+        let sender = self
+            .current_senders()
+            .get(shard)
+            .ok_or(PipelineError::ShardDown { shard })?
+            .clone();
+        let (reply_tx, reply_rx) = sync_channel(1);
+        if sender.send(Command::Snapshot(reply_tx)).is_err() {
+            return Err(self.shard_gone(shard));
+        }
+        match reply_rx.recv_timeout(self.snapshot_timeout) {
+            Ok(reply) => {
+                let coverage = CoverageMeta {
+                    shards_ok: 1,
+                    shards_failed: 0,
+                    uncovered_items: self.progress[shard].lost.load(Ordering::Acquire),
+                };
+                if !coverage.is_full() {
+                    self.counters.degraded_snapshots.incr();
+                }
+                Ok(SnapshotView::with_coverage(
+                    reply.sketch,
+                    reply.stats.items,
+                    coverage,
+                    vec![reply.stats],
+                    issued,
+                ))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(self.shard_gone(shard)),
+            Err(RecvTimeoutError::Timeout) => {
+                self.counters.timeouts.incr();
+                Err(PipelineError::Timeout {
+                    operation: "snapshot",
+                    waited: self.snapshot_timeout,
+                })
+            }
+        }
+    }
+
+    /// [`LiveHandle::try_snapshot_shard`] flattened to an `Option`: `None`
+    /// when the shard (or the pipeline) is gone or the reply deadline
+    /// expired.
     #[must_use = "the snapshot clones the shard's summary; dropping it wastes that work"]
     pub fn snapshot_shard(&self, shard: usize) -> Option<SnapshotView<S>> {
-        let issued = Instant::now();
-        let (reply_tx, reply_rx) = sync_channel(1);
-        self.senders
-            .get(shard)?
-            .send(Command::Snapshot(reply_tx))
-            .ok()?;
-        let reply = reply_rx.recv().ok()?;
-        Some(SnapshotView::new(
-            reply.sketch,
-            reply.stats.items,
-            vec![reply.stats],
-            issued,
-        ))
+        self.try_snapshot_shard(shard).ok()
     }
 
     /// Wraps this handle in a [`CachedSnapshots`] layer that re-serves one

@@ -150,6 +150,9 @@ impl LoadMonitor {
             utilization,
         };
         self.gauges.shards.set(snapshot.shards as f64);
+        self.gauges
+            .shards_down
+            .set(pipeline.health().shards_down() as f64);
         self.gauges.pending_items.set(snapshot.pending() as f64);
         self.gauges.max_queue_depth.set(max_queue_depth as f64);
         self.gauges.ingest_mops.set(ingest_mops);

@@ -22,19 +22,35 @@
 //! land on a well-defined global epoch, and what keeps concurrent
 //! [`LiveHandle`] snapshot epochs monotone.
 //!
+//! **Fault tolerance.**  Every worker loop runs inside `catch_unwind`: a
+//! panicking summary kills that worker only, and the thread's last act
+//! before its channel disconnects is to publish the death into the shared
+//! [`ShardHealth`] board.  The producer reacts per its
+//! [`SupervisorConfig`]'s [`Recovery`] policy — degrade (keep serving from
+//! the survivors, with coverage metadata on every view and typed
+//! [`PipelineError`]s on the single-shard paths) or restart the shard with
+//! an empty sketch.  Snapshot and drain replies wait at most a configured
+//! deadline; dispatch under backpressure can be bounded too.  A
+//! [`FaultPlan`] threaded through
+//! [`SupervisorConfig::chaos`] scripts these failures deterministically for
+//! the chaos tests and benches.
 
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::Arc;
-
-use std::time::Instant;
+use crate::sync::{Arc, RwLock};
 
 use salsa_hash::BobHash;
+use salsa_metrics::HealthCounters;
 
-use crate::live::LiveHandle;
+use crate::chaos::{FaultKind, FaultPlan, INJECTED_PANIC};
+use crate::error::PipelineError;
+use crate::live::{LiveHandle, SenderDirectory};
 use crate::snapshot::SnapshotView;
+use crate::supervisor::{Recovery, ShardHealth, ShardState, SupervisorConfig};
 use crate::{Partition, PipelineConfig, SnapshotSummary};
 
 /// How many commands may queue per worker before `push` applies
@@ -46,13 +62,22 @@ const CHANNEL_DEPTH: usize = 4;
 /// Progress counters a worker publishes after every applied batch, read
 /// lock-free by [`LiveHandle`] (staleness accounting) and by the elastic
 /// control plane's load monitor (queue depth and utilization sampling).
+///
+/// `applied` and `busy_nanos` are cumulative across worker incarnations: a
+/// restarted worker publishes `base + incarnation`, so both stay monotone
+/// over a restart (model-checked in `tests/loom_supervision.rs`).  `lost`
+/// is written by the producer when it detects a death: the acknowledged
+/// items of every dead incarnation, i.e. the part of `applied` that no
+/// live sketch covers any more.
 #[derive(Debug, Default)]
 pub(crate) struct ShardProgress {
-    /// Items this worker has applied.
+    /// Items applied on this shard, across all worker incarnations.
     pub(crate) applied: AtomicU64,
-    /// Cumulative wall-clock nanoseconds this worker has spent inside
-    /// `ingest` — busy time, excluding channel waits.
+    /// Cumulative wall-clock nanoseconds this shard's workers have spent
+    /// inside `ingest` — busy time, excluding channel waits.
     pub(crate) busy_nanos: AtomicU64,
+    /// Items applied by since-dead incarnations (uncovered by any view).
+    pub(crate) lost: AtomicU64,
 }
 
 /// A point-in-time load reading for one shard, taken producer-side without
@@ -96,7 +121,8 @@ pub(crate) struct ShardSnapshot<S> {
     pub(crate) stats: ShardStats,
 }
 
-/// What a worker thread hands back when it stops.
+/// What a worker thread hands back when it stops cleanly.  A panicked
+/// worker hands back `None` (see [`spawn_worker`]).
 struct WorkerReport<S> {
     sketch: S,
     stats: ShardStats,
@@ -104,11 +130,166 @@ struct WorkerReport<S> {
 
 struct Worker<S> {
     tx: SyncSender<Command<S>>,
-    handle: JoinHandle<WorkerReport<S>>,
+    handle: JoinHandle<Option<WorkerReport<S>>>,
+}
+
+/// Everything a worker thread needs besides its sketch, bundled so spawn
+/// and restart share one code path.
+struct WorkerSeat {
+    shard: usize,
+    progress: Arc<ShardProgress>,
+    health: Arc<ShardHealth>,
+    counters: Arc<HealthCounters>,
+    chaos: Option<Arc<FaultPlan>>,
+    /// `applied` published by prior incarnations; the fresh worker adds its
+    /// own count on top so the shared counter stays monotone.
+    applied_base: u64,
+    /// Same, for `busy_nanos`.
+    busy_nanos_base: u64,
+}
+
+/// Spawns one shard worker thread.  The loop itself runs inside
+/// `catch_unwind`; the thread's final acts are (in order) publishing its
+/// fate into [`ShardHealth`] and *then* disconnecting its channel, so any
+/// observer of a failed send/recv can classify the shard by reading the
+/// board — the supervision protocol's core invariant, model-checked in
+/// `tests/loom_supervision.rs`.
+fn spawn_worker<S: SnapshotSummary>(seat: WorkerSeat, sketch: S) -> Worker<S> {
+    let (tx, rx) = sync_channel::<Command<S>>(CHANNEL_DEPTH);
+    let handle = std::thread::Builder::new()
+        .name(format!("salsa-shard-{}", seat.shard))
+        .spawn(move || {
+            let WorkerSeat {
+                shard,
+                progress,
+                health,
+                counters,
+                chaos,
+                applied_base,
+                busy_nanos_base,
+            } = seat;
+            // UNWIND-OK: a panicking summary must kill this worker only;
+            // the catch turns it into ShardHealth state instead of
+            // poisoning the whole pipeline.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                worker_loop(
+                    &rx,
+                    sketch,
+                    &progress,
+                    chaos.as_deref(),
+                    shard,
+                    applied_base,
+                    busy_nanos_base,
+                )
+            }));
+            let report = match outcome {
+                Ok(report) => {
+                    health.mark(shard, ShardState::Stopped);
+                    Some(report)
+                }
+                Err(_) => {
+                    counters.worker_panics.incr();
+                    health.mark(shard, ShardState::Down);
+                    None
+                }
+            };
+            // Disconnect strictly after the fate is visible on the board.
+            drop(rx);
+            report
+        })
+        // PANIC-OK: spawn only fails on OS thread exhaustion, which
+        // construction cannot recover from.
+        .expect("failed to spawn shard worker thread");
+    Worker { tx, handle }
+}
+
+/// The shard worker's command loop — the part of the thread body that runs
+/// under `catch_unwind`.  `stats` counts this incarnation only; the shared
+/// progress counters are published with the bases added (see
+/// [`ShardProgress`]).
+fn worker_loop<S: SnapshotSummary>(
+    rx: &Receiver<Command<S>>,
+    mut sketch: S,
+    progress: &ShardProgress,
+    chaos: Option<&FaultPlan>,
+    shard: usize,
+    applied_base: u64,
+    busy_nanos_base: u64,
+) -> WorkerReport<S> {
+    let mut stats = ShardStats::default();
+    let mut busy_nanos = 0u64;
+    // Acknowledgements swallowed by a scripted DropAck fault: held open (not
+    // dropped) until the worker exits, so the requester waits out its drain
+    // deadline instead of seeing an instant disconnect.
+    let mut swallowed: Vec<SyncSender<()>> = Vec::new();
+    while let Ok(command) = rx.recv() {
+        match command {
+            Command::Ingest(batch) => {
+                if let Some(plan) = chaos {
+                    match plan.before_batch(shard, stats.items, batch.len() as u64) {
+                        // PANIC-OK: a scripted chaos fault — this panic *is*
+                        // the test subject, caught by the worker's
+                        // catch_unwind and turned into health state.
+                        Some(FaultKind::Panic) => panic!("{INJECTED_PANIC}"),
+                        Some(FaultKind::Stall(pause)) => std::thread::sleep(pause),
+                        Some(FaultKind::DropAck) | None => {}
+                    }
+                }
+                let start = Instant::now();
+                sketch.ingest(&batch);
+                // One accumulator (integer nanos) for busy time; the f64 in
+                // ShardStats is derived from it, so the two can never drift.
+                busy_nanos += start.elapsed().as_nanos() as u64;
+                stats.busy_secs = busy_nanos as f64 / 1e9;
+                stats.items += batch.len() as u64;
+                stats.batches += 1;
+                // Publish progress once per batch so live handles can
+                // measure snapshot staleness (and the load monitor queue
+                // depth and utilization) without touching the hot path per
+                // item.  `busy_nanos` goes first: `shard_loads` reads
+                // `applied` first with Acquire, so a reader that observes
+                // batch k's item count also observes (at least) the busy
+                // time that produced it — storing `applied` first let a
+                // reader pair a new item count with stale busy time and
+                // overestimate utilization.  The loom-lite model in
+                // tests/loom_models.rs checks exactly this pairing.
+                progress
+                    .busy_nanos
+                    .store(busy_nanos_base + busy_nanos, Ordering::Release);
+                progress
+                    .applied
+                    .store(applied_base + stats.items, Ordering::Release);
+            }
+            Command::Snapshot(reply) => {
+                let start = Instant::now();
+                let clone = sketch.clone();
+                stats.snapshot_secs += start.elapsed().as_secs_f64();
+                stats.snapshots += 1;
+                // The requester may have given up (its thread exited
+                // between send and recv, or its reply deadline expired);
+                // that is not the worker's problem.
+                let _ = reply.send(ShardSnapshot {
+                    sketch: clone,
+                    stats,
+                });
+            }
+            Command::Drain(ack) => {
+                if chaos.is_some_and(|plan| plan.on_drain(shard, stats.items)) {
+                    swallowed.push(ack); // scripted fault: the ack never comes
+                    continue;
+                }
+                let _ = ack.send(());
+            }
+            Command::Stop => break,
+        }
+    }
+    WorkerReport { sketch, stats }
 }
 
 /// Per-shard ingestion statistics, reported by [`ShardedPipeline::finish`]
-/// and carried by every [`SnapshotView`].
+/// and carried by every [`SnapshotView`].  For a shard that was restarted,
+/// these count the *reporting incarnation* only; the shared progress
+/// counters (and [`PipelineOutput::lost_items`]) account for the rest.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ShardStats {
     /// Items this shard has applied.
@@ -126,16 +307,27 @@ pub struct ShardStats {
 }
 
 /// The result of a finished pipeline run: the merged global sketch plus
-/// per-shard statistics.
+/// per-shard statistics — and, after worker deaths, the gap between what
+/// was pushed and what `merged` covers.
 #[derive(Debug)]
 pub struct PipelineOutput<S> {
-    /// The counter-wise union of every shard's sketch — the queryable
-    /// global view of the whole stream.
+    /// The counter-wise union of every surviving shard's sketch — the
+    /// queryable global view of the (covered part of the) stream.
     pub merged: S,
-    /// Per-shard ingestion statistics, indexed by shard.
+    /// Per-shard ingestion statistics, indexed by shard.  A failed shard's
+    /// entry is synthesized from its published progress counters (items and
+    /// busy time only).
     pub shards: Vec<ShardStats>,
     /// Total items pushed through the pipeline.
     pub items: u64,
+    /// Shards whose worker died and was not restarted; they contribute
+    /// nothing to `merged`.  Empty for a healthy run.
+    pub failed_shards: Vec<usize>,
+    /// Items pushed but missing from `merged`: dropped on the ingest path
+    /// (their shard was down or a bounded dispatch timed out, including
+    /// batches in flight when a worker died) or applied by a worker
+    /// incarnation that later died.  `0` for a healthy run.
+    pub lost_items: u64,
 }
 
 impl<S> PipelineOutput<S> {
@@ -151,13 +343,37 @@ impl<S> PipelineOutput<S> {
     pub fn total_busy_secs(&self) -> f64 {
         self.shards.iter().map(|s| s.busy_secs).sum()
     }
+
+    /// Fraction of pushed items `merged` covers: `1.0` for a healthy run.
+    pub fn coverage(&self) -> f64 {
+        if self.items == 0 {
+            1.0
+        } else {
+            self.items.saturating_sub(self.lost_items) as f64 / self.items as f64
+        }
+    }
+
+    /// `true` when any pushed item is missing from `merged`.
+    pub fn is_degraded(&self) -> bool {
+        self.lost_items > 0 || !self.failed_shards.is_empty()
+    }
+}
+
+/// Outcome of one bounded channel send (see
+/// [`ShardedPipeline::send_bounded`]); `Disconnected` hands the command
+/// back so a restarted worker can receive it.
+enum SendOutcome<S> {
+    TimedOut,
+    Disconnected(Command<S>),
 }
 
 /// A sharded, batched ingestion pipeline over any [`SnapshotSummary`].
 ///
-/// Build one with [`ShardedPipeline::new`], feed it with
-/// [`ShardedPipeline::push`] / [`ShardedPipeline::extend`], query it *while
-/// it runs* via [`ShardedPipeline::snapshot`] or a cloned-off
+/// Build one with [`ShardedPipeline::new`] (or
+/// [`ShardedPipeline::supervised`] for an explicit fault-tolerance
+/// configuration), feed it with [`ShardedPipeline::push`] /
+/// [`ShardedPipeline::extend`], query it *while it runs* via
+/// [`ShardedPipeline::snapshot`] or a cloned-off
 /// [`ShardedPipeline::live_handle`], and call [`ShardedPipeline::finish`]
 /// to obtain the merged global view.  See the crate docs for the
 /// partitioning modes and their exactness guarantees.
@@ -167,10 +383,20 @@ pub struct ShardedPipeline<S: SnapshotSummary> {
     router: BobHash,
     buffers: Vec<Vec<u64>>,
     workers: Vec<Worker<S>>,
+    /// The senders as live handles see them: shared so a restarted shard's
+    /// fresh channel reaches handles cloned off before the restart.  The
+    /// producer's own hot path uses `workers[..].tx` directly (no lock).
+    directory: SenderDirectory<S>,
     progress: Vec<Arc<ShardProgress>>,
     dispatched: Vec<u64>,
     next_shard: usize,
     pushed: u64,
+    supervisor: SupervisorConfig,
+    health: Arc<ShardHealth>,
+    /// Present only on `supervised` pipelines: the sketch factory, kept so
+    /// [`Recovery::Restart`] can respawn a dead shard with an empty sketch.
+    factory: Option<Box<dyn FnMut(usize) -> S + Send>>,
+    lost_items: u64,
 }
 
 impl<S: SnapshotSummary> ShardedPipeline<S> {
@@ -182,92 +408,85 @@ impl<S: SnapshotSummary> ShardedPipeline<S> {
     /// [`StreamSummary::merge_from`](crate::StreamSummary::merge_from) enforces it when
     /// [`ShardedPipeline::finish`] folds the shards together.
     ///
+    /// The pipeline is supervised under [`SupervisorConfig::default`]:
+    /// worker panics degrade rather than poison, but nothing restarts.
+    ///
     /// # Panics
     ///
     /// Panics if `config.shards == 0` or `config.batch_size == 0`.
     pub fn new(config: &PipelineConfig, mut factory: impl FnMut(usize) -> S) -> Self {
+        Self::build(config, SupervisorConfig::default(), &mut factory)
+    }
+
+    /// Creates the pipeline with an explicit fault-tolerance configuration.
+    ///
+    /// Unlike [`ShardedPipeline::new`], the factory must be `Send +
+    /// 'static`: it is kept for the pipeline's lifetime so
+    /// [`Recovery::Restart`] can respawn a dead shard with a fresh, empty
+    /// sketch (the dead incarnation's items are counted as lost — see
+    /// [`ShardedPipeline::lost_items`] and the coverage metadata on every
+    /// [`SnapshotView`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0` or `config.batch_size == 0`.
+    pub fn supervised(
+        config: &PipelineConfig,
+        supervisor: SupervisorConfig,
+        factory: impl FnMut(usize) -> S + Send + 'static,
+    ) -> Self {
+        let mut factory: Box<dyn FnMut(usize) -> S + Send> = Box::new(factory);
+        let mut pipeline = Self::build(config, supervisor, &mut *factory);
+        pipeline.factory = Some(factory);
+        pipeline
+    }
+
+    fn build(
+        config: &PipelineConfig,
+        supervisor: SupervisorConfig,
+        factory: &mut dyn FnMut(usize) -> S,
+    ) -> Self {
         assert!(config.shards > 0, "a pipeline needs at least one shard");
         assert!(config.batch_size > 0, "batch size must be positive");
+        let health = Arc::new(ShardHealth::new(config.shards));
         let mut progress = Vec::with_capacity(config.shards);
         let workers = (0..config.shards)
             .map(|shard| {
-                let (tx, rx) = sync_channel::<Command<S>>(CHANNEL_DEPTH);
-                let mut sketch = factory(shard);
+                let sketch = factory(shard);
                 let shard_progress = Arc::new(ShardProgress::default());
                 progress.push(Arc::clone(&shard_progress));
-                let handle = std::thread::Builder::new()
-                    .name(format!("salsa-shard-{shard}"))
-                    .spawn(move || {
-                        let mut stats = ShardStats::default();
-                        let mut busy_nanos = 0u64;
-                        while let Ok(command) = rx.recv() {
-                            match command {
-                                Command::Ingest(batch) => {
-                                    let start = Instant::now();
-                                    sketch.ingest(&batch);
-                                    // One accumulator (integer nanos) for busy
-                                    // time; the f64 in ShardStats is derived
-                                    // from it, so the two can never drift.
-                                    busy_nanos += start.elapsed().as_nanos() as u64;
-                                    stats.busy_secs = busy_nanos as f64 / 1e9;
-                                    stats.items += batch.len() as u64;
-                                    stats.batches += 1;
-                                    // Publish progress once per batch so live
-                                    // handles can measure snapshot staleness
-                                    // (and the load monitor queue depth and
-                                    // utilization) without touching the hot
-                                    // path per item.  `busy_nanos` goes first:
-                                    // `shard_loads` reads `applied` first with
-                                    // Acquire, so a reader that observes batch
-                                    // k's item count also observes (at least)
-                                    // the busy time that produced it — storing
-                                    // `applied` first let a reader pair a new
-                                    // item count with stale busy time and
-                                    // overestimate utilization.  The loom-lite
-                                    // model in tests/loom_models.rs checks
-                                    // exactly this pairing.
-                                    shard_progress
-                                        .busy_nanos
-                                        .store(busy_nanos, Ordering::Release);
-                                    shard_progress.applied.store(stats.items, Ordering::Release);
-                                }
-                                Command::Snapshot(reply) => {
-                                    let start = Instant::now();
-                                    let clone = sketch.clone();
-                                    stats.snapshot_secs += start.elapsed().as_secs_f64();
-                                    stats.snapshots += 1;
-                                    // The requester may have given up (its
-                                    // thread exited between send and recv);
-                                    // that is not the worker's problem.
-                                    let _ = reply.send(ShardSnapshot {
-                                        sketch: clone,
-                                        stats,
-                                    });
-                                }
-                                Command::Drain(ack) => {
-                                    let _ = ack.send(());
-                                }
-                                Command::Stop => break,
-                            }
-                        }
-                        WorkerReport { sketch, stats }
-                    })
-                    // PANIC-OK: spawn only fails on OS thread exhaustion,
-                    // which construction cannot recover from.
-                    .expect("failed to spawn shard worker thread");
-                Worker { tx, handle }
+                spawn_worker(
+                    WorkerSeat {
+                        shard,
+                        progress: shard_progress,
+                        health: Arc::clone(&health),
+                        counters: Arc::clone(&supervisor.counters),
+                        chaos: supervisor.chaos.clone(),
+                        applied_base: 0,
+                        busy_nanos_base: 0,
+                    },
+                    sketch,
+                )
             })
-            .collect();
+            .collect::<Vec<Worker<S>>>();
+        let directory = Arc::new(RwLock::new(
+            workers.iter().map(|w| w.tx.clone()).collect::<Vec<_>>(),
+        ));
         Self {
             partition: config.partition,
             batch_size: config.batch_size,
             router: BobHash::new(config.router_seed),
             buffers: vec![Vec::with_capacity(config.batch_size); config.shards],
             workers,
+            directory,
             progress,
             dispatched: vec![0; config.shards],
             next_shard: 0,
             pushed: 0,
+            supervisor,
+            health,
+            factory: None,
+            lost_items: 0,
         }
     }
 
@@ -281,6 +500,26 @@ impl<S: SnapshotSummary> ShardedPipeline<S> {
     #[inline]
     pub fn pushed(&self) -> u64 {
         self.pushed
+    }
+
+    /// The shared per-shard health board (see [`ShardHealth`]).
+    #[inline]
+    pub fn health(&self) -> &Arc<ShardHealth> {
+        &self.health
+    }
+
+    /// The supervision event counters (panics, restarts, timeouts, drops).
+    #[inline]
+    pub fn counters(&self) -> &Arc<HealthCounters> {
+        &self.supervisor.counters
+    }
+
+    /// Items pushed but known to be missing from any future view: dropped
+    /// on the ingest path (dead or stalled shard) or applied by a worker
+    /// incarnation that died.  `0` while the pipeline is healthy.
+    #[inline]
+    pub fn lost_items(&self) -> u64 {
+        self.lost_items
     }
 
     /// The shard an item is routed to under the current partitioning mode.
@@ -298,8 +537,24 @@ impl<S: SnapshotSummary> ShardedPipeline<S> {
 
     /// Feeds one item into the pipeline, dispatching a batch to the owning
     /// worker when that shard's buffer fills up.
+    ///
+    /// Infallible by design: a batch that cannot be delivered (dead shard,
+    /// bounded dispatch timed out) is counted into
+    /// [`ShardedPipeline::lost_items`] and the health counters instead of
+    /// failing the push.  Use [`ShardedPipeline::try_push`] to observe
+    /// those losses as typed errors.
     #[inline]
     pub fn push(&mut self, item: u64) {
+        let _ = self.try_push(item);
+    }
+
+    /// Like [`ShardedPipeline::push`], but reports a dispatch failure for
+    /// the batch this push completed: the batch's shard was down (and the
+    /// recovery policy did not bring it back), or a bounded dispatch hit
+    /// its deadline.  The failed batch is counted as lost either way — the
+    /// error is information, not a retry ticket.
+    #[inline]
+    pub fn try_push(&mut self, item: u64) -> Result<(), PipelineError> {
         let shard = self.shard_of(item);
         if self.partition == Partition::RoundRobin {
             self.next_shard = (self.next_shard + 1) % self.workers.len();
@@ -309,8 +564,9 @@ impl<S: SnapshotSummary> ShardedPipeline<S> {
         buffer.push(item);
         if buffer.len() >= self.batch_size {
             let batch = std::mem::replace(buffer, Vec::with_capacity(self.batch_size));
-            self.dispatch(shard, batch);
+            return self.dispatch(shard, batch);
         }
+        Ok(())
     }
 
     /// Feeds a slice of items into the pipeline.
@@ -326,23 +582,173 @@ impl<S: SnapshotSummary> ShardedPipeline<S> {
         for shard in 0..self.buffers.len() {
             if !self.buffers[shard].is_empty() {
                 let batch = std::mem::take(&mut self.buffers[shard]);
-                self.dispatch(shard, batch);
+                let _ = self.dispatch(shard, batch);
             }
         }
     }
 
-    fn dispatch(&mut self, shard: usize, batch: Vec<u64>) {
-        self.dispatched[shard] += batch.len() as u64;
-        // Blocks when the worker is CHANNEL_DEPTH commands behind
-        // (backpressure); only errors if the worker died, which would
-        // surface as a panic on join anyway.
-        self.workers[shard]
-            .tx
-            .send(Command::Ingest(batch))
-            // PANIC-OK: workers only exit on Command::Stop, which `finish`
-            // sends after taking ownership; a dead worker here means it
-            // panicked, and the panic should propagate, not be swallowed.
-            .expect("shard worker disappeared while the pipeline was running");
+    /// Delivers one batch to `shard`'s worker, applying the recovery policy
+    /// when the worker turns out to be dead.  On failure the batch is
+    /// counted as lost and a typed error describes why.
+    fn dispatch(&mut self, shard: usize, batch: Vec<u64>) -> Result<(), PipelineError> {
+        let len = batch.len() as u64;
+        // Fast path for a shard already known dead: don't touch the channel.
+        if self.health.state(shard) == ShardState::Down && !self.handle_down(shard) {
+            self.drop_batch(len);
+            return Err(PipelineError::ShardDown { shard });
+        }
+        let mut command = Command::Ingest(batch);
+        loop {
+            match self.send_bounded(shard, command) {
+                Ok(()) => {
+                    self.dispatched[shard] += len;
+                    return Ok(());
+                }
+                Err(SendOutcome::TimedOut) => {
+                    self.supervisor.counters.timeouts.incr();
+                    self.drop_batch(len);
+                    return Err(PipelineError::Timeout {
+                        operation: "dispatch",
+                        waited: self.supervisor.dispatch_timeout.unwrap_or(Duration::ZERO),
+                    });
+                }
+                Err(SendOutcome::Disconnected(returned)) => {
+                    // The worker died since the health check above.  The
+                    // death is on the board by now (it precedes the
+                    // disconnect); settle the books and maybe restart.
+                    if self.handle_down(shard) {
+                        command = returned; // retry against the fresh worker
+                    } else {
+                        self.drop_batch(len);
+                        return Err(PipelineError::ShardDown { shard });
+                    }
+                }
+            }
+        }
+    }
+
+    /// One channel send under the configured dispatch bound: blocking when
+    /// `dispatch_timeout` is `None` (backpressure is flow control), else a
+    /// try/backoff loop against the deadline.
+    fn send_bounded(&self, shard: usize, command: Command<S>) -> Result<(), SendOutcome<S>> {
+        let tx = &self.workers[shard].tx;
+        match self.supervisor.dispatch_timeout {
+            // Blocks when the worker is CHANNEL_DEPTH commands behind; only
+            // errors if the worker died.
+            None => tx
+                .send(command)
+                .map_err(|err| SendOutcome::Disconnected(err.0)),
+            Some(timeout) => {
+                let deadline = Instant::now() + timeout;
+                let mut sleep = self.supervisor.backoff.initial;
+                let mut command = command;
+                loop {
+                    match tx.try_send(command) {
+                        Ok(()) => return Ok(()),
+                        Err(TrySendError::Disconnected(returned)) => {
+                            return Err(SendOutcome::Disconnected(returned));
+                        }
+                        Err(TrySendError::Full(returned)) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                return Err(SendOutcome::TimedOut);
+                            }
+                            std::thread::sleep(sleep.min(deadline - now));
+                            sleep = self.supervisor.backoff.next(sleep);
+                            command = returned;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Settles the books for a dead shard, then applies the recovery
+    /// policy.  Returns `true` when the shard is up again (restarted).
+    fn handle_down(&mut self, shard: usize) -> bool {
+        self.note_shard_down(shard);
+        self.try_restart(shard)
+    }
+
+    /// Accounts a detected worker death: batches in flight (dispatched but
+    /// never applied) and the dead incarnation's applied items both become
+    /// lost.  Idempotent — `ShardProgress::lost` doubles as the
+    /// already-counted marker, so repeated detection adds nothing.
+    fn note_shard_down(&mut self, shard: usize) {
+        let applied = self.progress[shard].applied.load(Ordering::Acquire);
+        let counted = self.progress[shard].lost.load(Ordering::Acquire);
+        let in_flight = self.dispatched[shard].saturating_sub(applied);
+        self.dispatched[shard] = applied;
+        let newly = applied.saturating_sub(counted);
+        let lost = in_flight + newly;
+        if lost > 0 {
+            self.lost_items += lost;
+            self.supervisor.counters.dropped_items.add(lost);
+        }
+        if newly > 0 {
+            self.progress[shard].lost.store(applied, Ordering::Release);
+        }
+    }
+
+    /// Respawns `shard`'s worker with an empty sketch when the recovery
+    /// policy allows it.  The new incarnation publishes progress on top of
+    /// the dead one's counts, so `applied` stays monotone for readers.
+    fn try_restart(&mut self, shard: usize) -> bool {
+        let Recovery::Restart { max_restarts } = self.supervisor.recovery else {
+            return false;
+        };
+        if self.health.restarts(shard) >= max_restarts {
+            return false;
+        }
+        let Some(factory) = self.factory.as_mut() else {
+            return false;
+        };
+        let sketch = factory(shard);
+        let applied = self.progress[shard].applied.load(Ordering::Acquire);
+        let busy = self.progress[shard].busy_nanos.load(Ordering::Acquire);
+        self.workers[shard] = spawn_worker(
+            WorkerSeat {
+                shard,
+                progress: Arc::clone(&self.progress[shard]),
+                health: Arc::clone(&self.health),
+                counters: Arc::clone(&self.supervisor.counters),
+                chaos: self.supervisor.chaos.clone(),
+                applied_base: applied,
+                busy_nanos_base: busy,
+            },
+            sketch,
+        );
+        // Re-point live handles at the new incarnation's channel.
+        let mut directory = self
+            .directory
+            .write()
+            // PANIC-OK: no user code runs under the directory lock, so
+            // poisoning is unreachable.
+            .expect("sender directory lock poisoned");
+        directory[shard] = self.workers[shard].tx.clone();
+        drop(directory);
+        self.health.record_restart(shard);
+        self.health.mark(shard, ShardState::Up);
+        self.supervisor.counters.worker_restarts.incr();
+        true
+    }
+
+    /// Applies the recovery policy to every shard currently marked down —
+    /// a sweep for deaths detected by reply paths that cannot restart.
+    fn recover_down_shards(&mut self) {
+        if matches!(self.supervisor.recovery, Recovery::Restart { .. }) {
+            for shard in 0..self.workers.len() {
+                if self.health.state(shard) == ShardState::Down {
+                    let _ = self.handle_down(shard);
+                }
+            }
+        }
+    }
+
+    /// Counts a batch that could not be delivered.
+    fn drop_batch(&mut self, len: u64) {
+        self.lost_items += len;
+        self.supervisor.counters.dropped_items.add(len);
     }
 
     /// Items currently sitting in the producer-side buffers (pushed but not
@@ -372,13 +778,18 @@ impl<S: SnapshotSummary> ShardedPipeline<S> {
     /// pipeline from other threads while ingestion continues.
     ///
     /// Handles stay valid until [`ShardedPipeline::finish`] shuts the
-    /// workers down, after which their queries return `None`.
+    /// workers down, after which their queries return `None`; while shard
+    /// workers are dead, their views degrade (see
+    /// [`LiveHandle::try_snapshot`]).
     pub fn live_handle(&self) -> LiveHandle<S> {
         LiveHandle::new(
-            self.workers.iter().map(|w| w.tx.clone()).collect(),
+            Arc::clone(&self.directory),
             self.progress.clone(),
             self.partition,
             self.router,
+            Arc::clone(&self.health),
+            Arc::clone(&self.supervisor.counters),
+            self.supervisor.snapshot_timeout,
         )
     }
 
@@ -388,47 +799,93 @@ impl<S: SnapshotSummary> ShardedPipeline<S> {
     ///
     /// Because flushing dispatches everything pushed so far and each shard's
     /// channel is FIFO, the returned view sits at **epoch
-    /// [`ShardedPipeline::pushed`]**: for sum-merge rows its estimates are
-    /// identical to an unsharded sketch over exactly the items pushed so
-    /// far.  Ingestion resumes (or rather, never stopped) after the call.
+    /// [`ShardedPipeline::pushed`]** while the pipeline is healthy: for
+    /// sum-merge rows its estimates are identical to an unsharded sketch
+    /// over exactly the items pushed so far.  With dead shards the view is
+    /// degraded — it covers the survivors and its epoch counts only covered
+    /// items; the gap is named in [`SnapshotView::coverage`].  Ingestion
+    /// resumes (or rather, never stopped) after the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no view can be served at all (every worker is dead, or a
+    /// reply deadline expired) — use [`ShardedPipeline::try_snapshot`] to
+    /// handle those as typed errors.
     #[must_use = "assembling a snapshot clones every shard's sketch; dropping it wastes that work"]
     pub fn snapshot(&mut self) -> SnapshotView<S> {
+        self.try_snapshot()
+            // PANIC-OK: degraded views are Ok(..); Err means total failure
+            // or an exhausted deadline, which this convenience treats as
+            // the bug it is.  The try_ variant reports instead.
+            .expect("pipeline snapshot failed")
+    }
+
+    /// Like [`ShardedPipeline::snapshot`], but a dead pipeline or an
+    /// exhausted reply deadline surfaces as a [`PipelineError`] instead of
+    /// a panic.  Degraded views are still `Ok` — check
+    /// [`SnapshotView::is_degraded`].
+    #[must_use = "assembling a snapshot clones every shard's sketch; dropping it wastes that work"]
+    pub fn try_snapshot(&mut self) -> Result<SnapshotView<S>, PipelineError> {
         self.flush();
-        self.live_handle()
-            .snapshot()
-            // PANIC-OK: `&mut self` proves `finish` has not run, so the
-            // workers are alive; `None` here means a worker panicked.
-            .expect("workers are alive while the pipeline exists")
+        self.recover_down_shards();
+        self.live_handle().try_snapshot()
     }
 
     /// Blocks until every item pushed so far has been applied by its worker
     /// (a full-pipeline barrier), and returns that epoch.
     ///
     /// After `drain`, [`LiveHandle::acknowledged`] equals
-    /// [`ShardedPipeline::pushed`] until the next push.
+    /// [`ShardedPipeline::pushed`] until the next push — while the pipeline
+    /// is healthy; dead shards are skipped (their gap shows up in
+    /// [`ShardedPipeline::lost_items`] and the coverage metadata).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a drain acknowledgement misses its deadline — use
+    /// [`ShardedPipeline::try_drain`] to handle that as a typed error.
     pub fn drain(&mut self) -> u64 {
+        self.try_drain()
+            // PANIC-OK: dead shards degrade to Ok(..); Err is an exhausted
+            // deadline (a wedged worker), which this convenience treats as
+            // the bug it is.  The try_ variant reports instead.
+            .expect("pipeline drain failed")
+    }
+
+    /// Like [`ShardedPipeline::drain`], but an exhausted acknowledgement
+    /// deadline surfaces as [`PipelineError::Timeout`] instead of a panic.
+    /// Shards found dead along the way are settled per the recovery policy
+    /// and do not fail the drain.
+    pub fn try_drain(&mut self) -> Result<u64, PipelineError> {
         self.flush();
-        let acks: Vec<_> = self
-            .workers
-            .iter()
-            .map(|worker| {
-                let (tx, rx) = sync_channel(1);
-                worker
-                    .tx
-                    .send(Command::Drain(tx))
-                    // PANIC-OK: same liveness argument as `dispatch` — a
-                    // dead worker is a panicked worker.
-                    .expect("shard worker disappeared while the pipeline was running");
-                rx
-            })
-            .collect();
-        for ack in acks {
-            ack.recv()
-                // PANIC-OK: the worker acknowledges every Drain it receives;
-                // a dropped reply sender means the worker panicked mid-drain.
-                .expect("shard worker dropped a drain barrier without acknowledging it");
+        let mut pending: Vec<(usize, Receiver<()>)> = Vec::with_capacity(self.workers.len());
+        let mut dead: Vec<usize> = Vec::new();
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let (tx, rx) = sync_channel(1);
+            if worker.tx.send(Command::Drain(tx)).is_ok() {
+                pending.push((shard, rx));
+            } else {
+                dead.push(shard);
+            }
         }
-        self.pushed
+        let deadline = Instant::now() + self.supervisor.drain_timeout;
+        for (shard, rx) in pending {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(()) => {}
+                Err(RecvTimeoutError::Disconnected) => dead.push(shard),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.supervisor.counters.timeouts.incr();
+                    return Err(PipelineError::Timeout {
+                        operation: "drain",
+                        waited: self.supervisor.drain_timeout,
+                    });
+                }
+            }
+        }
+        for shard in dead {
+            let _ = self.handle_down(shard);
+        }
+        Ok(self.pushed)
     }
 
     /// Flushes remaining buffers, shuts the workers down, and merges every
@@ -437,41 +894,79 @@ impl<S: SnapshotSummary> ShardedPipeline<S> {
     /// Outstanding [`LiveHandle`]s remain safe to use: their queries return
     /// `None` once the workers have stopped.
     ///
+    /// Shards whose worker died along the way degrade rather than poison:
+    /// the survivors merge, and [`PipelineOutput::failed_shards`] /
+    /// [`PipelineOutput::lost_items`] name the gap.
+    ///
     /// # Panics
     ///
-    /// Panics if a worker thread panicked, or if the shard summaries were
-    /// built with mismatched seeds/shapes (see
+    /// Panics if *every* worker died, or if the shard summaries were built
+    /// with mismatched seeds/shapes (see
     /// [`StreamSummary::merge_from`](crate::StreamSummary::merge_from)).
-    pub fn finish(mut self) -> PipelineOutput<S> {
+    /// Use [`ShardedPipeline::try_finish`] to handle total failure as a
+    /// typed error.
+    pub fn finish(self) -> PipelineOutput<S> {
+        self.try_finish()
+            // PANIC-OK: degraded outputs are Ok(..); Err means every single
+            // worker died, which this convenience treats as fatal.  The
+            // try_ variant reports instead.
+            .expect("every shard worker is down")
+    }
+
+    /// Like [`ShardedPipeline::finish`], but total failure (every worker
+    /// dead) surfaces as [`PipelineError::AllShardsDown`] instead of a
+    /// panic.  Partial failure still returns `Ok` — check
+    /// [`PipelineOutput::is_degraded`].
+    pub fn try_finish(mut self) -> Result<PipelineOutput<S>, PipelineError> {
         self.flush();
-        let mut reports: Vec<WorkerReport<S>> = self
-            .workers
-            .drain(..)
-            .map(|worker| {
-                // An explicit stop (rather than relying on channel closure)
-                // lets outstanding live handles keep their senders: their
-                // next send simply fails once the worker has exited.
-                worker
-                    .tx
-                    .send(Command::Stop)
-                    // PANIC-OK: same liveness argument as `dispatch`.
-                    .expect("shard worker disappeared while the pipeline was running");
-                drop(worker.tx);
-                // PANIC-OK: join propagates a worker panic to the caller,
-                // as documented under "# Panics".
-                worker.handle.join().expect("shard worker thread panicked")
-            })
-            .collect();
-        let shards: Vec<ShardStats> = reports.iter().map(|r| r.stats).collect();
-        let mut merged = reports.remove(0).sketch;
-        for report in &reports {
-            merged.merge_from(&report.sketch);
+        let workers: Vec<Worker<S>> = self.workers.drain(..).collect();
+        let mut reports: Vec<Option<WorkerReport<S>>> = Vec::with_capacity(workers.len());
+        for worker in workers {
+            // An explicit stop (rather than relying on channel closure)
+            // lets outstanding live handles keep their senders: their next
+            // send simply fails once the worker has exited.  A send error
+            // here means the worker is already dead; the join tells us how.
+            let _ = worker.tx.send(Command::Stop);
+            drop(worker.tx);
+            reports.push(worker.handle.join().unwrap_or(None));
         }
-        PipelineOutput {
+        for (shard, report) in reports.iter().enumerate() {
+            if report.is_none() {
+                self.note_shard_down(shard);
+            }
+        }
+        let mut failed_shards = Vec::new();
+        let mut shards = Vec::with_capacity(reports.len());
+        let mut merged: Option<S> = None;
+        for (shard, report) in reports.into_iter().enumerate() {
+            match report {
+                Some(report) => {
+                    shards.push(report.stats);
+                    match merged.as_mut() {
+                        None => merged = Some(report.sketch),
+                        Some(m) => m.merge_from(&report.sketch),
+                    }
+                }
+                None => {
+                    failed_shards.push(shard);
+                    // Synthesize what the published counters still know.
+                    shards.push(ShardStats {
+                        items: self.progress[shard].applied.load(Ordering::Acquire),
+                        busy_secs: self.progress[shard].busy_nanos.load(Ordering::Acquire) as f64
+                            / 1e9,
+                        ..ShardStats::default()
+                    });
+                }
+            }
+        }
+        let merged = merged.ok_or(PipelineError::AllShardsDown)?;
+        Ok(PipelineOutput {
             merged,
             shards,
             items: self.pushed,
-        }
+            failed_shards,
+            lost_items: self.lost_items,
+        })
     }
 }
 
@@ -628,6 +1123,10 @@ mod tests {
         assert_eq!(out.items, 10_000);
         assert_eq!(out.shards.len(), 4);
         assert_eq!(out.shards.iter().map(|s| s.items).sum::<u64>(), 10_000);
+        assert!(out.failed_shards.is_empty());
+        assert_eq!(out.lost_items, 0);
+        assert_eq!(out.coverage(), 1.0);
+        assert!(!out.is_degraded());
         // Round-robin deals items evenly.
         for stats in &out.shards {
             assert_eq!(stats.items, 2_500);
@@ -676,6 +1175,9 @@ mod tests {
             pipeline.extend(&items[..12_345]);
             let view = pipeline.snapshot();
             assert_eq!(view.epoch(), 12_345, "{}", partition.name());
+            assert!(!view.is_degraded(), "{}", partition.name());
+            assert_eq!(view.shards_failed(), 0);
+            assert_eq!(view.coverage_fraction(), 1.0);
             let prefix = unsharded(make(0), &items[..12_345]);
             for item in 0..500u64 {
                 assert_eq!(
@@ -800,5 +1302,207 @@ mod tests {
                 "published busy time diverged from the final accounting"
             );
         }
+    }
+
+    // ---- fault tolerance ---------------------------------------------
+
+    fn cms(
+        seed: u64,
+    ) -> impl FnMut(usize) -> CountMin<salsa_core::row::SalsaRow<salsa_core::bitmap::MergeBitmap>>
+           + Send
+           + 'static {
+        move |_| CountMin::salsa(2, 256, 8, MergeOp::Sum, seed)
+    }
+
+    #[test]
+    fn panicked_shard_degrades_instead_of_poisoning() {
+        crate::chaos::silence_worker_panics();
+        let plan = Arc::new(FaultPlan::new().panic_shard(1, 128));
+        let supervisor = SupervisorConfig::new().chaos(Arc::clone(&plan));
+        let counters = Arc::clone(&supervisor.counters);
+        let config = PipelineConfig::new(2)
+            .partition(Partition::RoundRobin)
+            .batch_size(128);
+        let mut pipeline = ShardedPipeline::supervised(&config, supervisor, cms(79));
+        // Round-robin over 2 shards: even indices land on shard 0, odd on
+        // shard 1; each shard sees two 128-item batches.  Shard 1 applies
+        // its first batch, then panics on the second (128 + 128 > 128).
+        let items: Vec<u64> = (0..512).collect();
+        pipeline.extend(&items);
+        assert_eq!(
+            pipeline.try_drain().expect("drain degrades, not errors"),
+            512
+        );
+        assert_eq!(plan.fired(), 1);
+        assert_eq!(pipeline.health().state(1), ShardState::Down);
+        assert_eq!(pipeline.health().state(0), ShardState::Up);
+        assert_eq!(counters.worker_panics.get(), 1);
+        assert_eq!(
+            pipeline.lost_items(),
+            256,
+            "128 applied-then-lost + 128 in flight"
+        );
+        let view = pipeline.try_snapshot().expect("degraded views are served");
+        assert!(view.is_degraded());
+        assert_eq!(view.shards_failed(), 1);
+        assert_eq!(view.shards_ok(), 1);
+        assert_eq!(view.epoch(), 256, "the survivor covers its 256 items");
+        assert_eq!(view.coverage().uncovered_items, 128, "acknowledged, lost");
+        assert!((view.coverage_fraction() - 256.0 / 384.0).abs() < 1e-9);
+        for item in (0..512u64).step_by(2) {
+            assert!(view.estimate(item) >= 1, "survivor keeps serving queries");
+        }
+        assert!(counters.degraded_snapshots.get() >= 1);
+        let out = pipeline.try_finish().expect("the survivors still merge");
+        assert_eq!(out.failed_shards, vec![1]);
+        assert_eq!(out.lost_items, 256);
+        assert!((out.coverage() - 0.5).abs() < 1e-9);
+        assert!(out.is_degraded());
+        assert_eq!(out.shards[1].items, 128, "synthesized from progress");
+    }
+
+    #[test]
+    fn restart_policy_recovers_routing_capacity() {
+        crate::chaos::silence_worker_panics();
+        let plan = Arc::new(FaultPlan::new().panic_shard(1, 256));
+        let supervisor = SupervisorConfig::new().restart(2).chaos(Arc::clone(&plan));
+        let counters = Arc::clone(&supervisor.counters);
+        let config = PipelineConfig::new(2)
+            .partition(Partition::RoundRobin)
+            .batch_size(128);
+        let mut pipeline = ShardedPipeline::supervised(&config, supervisor, cms(83));
+        pipeline.extend(&(0..512).collect::<Vec<u64>>());
+        pipeline.drain();
+        assert!(pipeline.health().all_up());
+        // Shard 1's third batch crosses 256 applied items and panics
+        // (before applying), so exactly 256 acknowledged items die with the
+        // incarnation and the 128-item batch in flight is dropped.
+        pipeline.extend(&(512..768).collect::<Vec<u64>>());
+        assert_eq!(pipeline.try_drain().expect("drain restarts the shard"), 768);
+        assert!(pipeline.health().all_up(), "shard 1 is back up");
+        assert_eq!(pipeline.health().restarts(1), 1);
+        assert_eq!(counters.worker_restarts.get(), 1);
+        assert_eq!(counters.worker_panics.get(), 1);
+        assert_eq!(
+            pipeline.lost_items(),
+            384,
+            "256 applied-then-lost + 128 in flight"
+        );
+        // The restarted shard ingests from an empty sketch.
+        pipeline.extend(&(768..1280).collect::<Vec<u64>>());
+        pipeline.drain();
+        let view = pipeline.snapshot();
+        assert_eq!(view.shards_failed(), 0, "everything replies again");
+        assert!(view.is_degraded(), "restarted-away items stay uncovered");
+        assert_eq!(view.epoch(), 896, "640 on shard 0 + 256 post-restart");
+        assert_eq!(
+            view.coverage().uncovered_items,
+            256,
+            "only *acknowledged* losses count as uncovered"
+        );
+        let out = pipeline.finish();
+        assert!(out.failed_shards.is_empty());
+        assert_eq!(out.lost_items, 384);
+        assert_eq!(out.shards[0].items, 640);
+        assert_eq!(out.shards[1].items, 256, "fresh incarnation's items only");
+    }
+
+    #[test]
+    fn pushes_to_a_dead_shard_surface_typed_errors() {
+        crate::chaos::silence_worker_panics();
+        let plan = Arc::new(FaultPlan::new().panic_shard(1, 0));
+        let supervisor = SupervisorConfig::new().chaos(plan);
+        let counters = Arc::clone(&supervisor.counters);
+        let config = PipelineConfig::new(2)
+            .partition(Partition::RoundRobin)
+            .batch_size(1);
+        let mut pipeline = ShardedPipeline::supervised(&config, supervisor, cms(89));
+        let mut first_error = None;
+        for item in 0..10_000u64 {
+            if let Err(err) = pipeline.try_push(item) {
+                first_error = Some(err);
+                break;
+            }
+        }
+        assert_eq!(first_error, Some(PipelineError::ShardDown { shard: 1 }));
+        assert!(pipeline.lost_items() > 0);
+        assert_eq!(counters.dropped_items.get(), pipeline.lost_items());
+        let out = pipeline.try_finish().expect("shard 0 survives");
+        assert_eq!(out.failed_shards, vec![1]);
+    }
+
+    #[test]
+    fn dropped_drain_ack_hits_the_deadline() {
+        let plan = Arc::new(FaultPlan::new().drop_ack(0, 0));
+        let supervisor = SupervisorConfig::new()
+            .drain_timeout(Duration::from_millis(200))
+            .chaos(plan);
+        let counters = Arc::clone(&supervisor.counters);
+        let config = PipelineConfig::new(1).batch_size(8);
+        let mut pipeline = ShardedPipeline::supervised(&config, supervisor, cms(97));
+        pipeline.extend(&[1, 2, 3]);
+        assert_eq!(
+            pipeline.try_drain(),
+            Err(PipelineError::Timeout {
+                operation: "drain",
+                waited: Duration::from_millis(200),
+            })
+        );
+        assert_eq!(counters.timeouts.get(), 1);
+        assert_eq!(
+            pipeline.drain(),
+            3,
+            "the fault fires once; the worker lives"
+        );
+        assert_eq!(pipeline.finish().lost_items, 0, "nothing was actually lost");
+    }
+
+    #[test]
+    fn bounded_dispatch_times_out_on_a_stalled_shard() {
+        let plan = Arc::new(FaultPlan::new().stall_shard(0, 0, Duration::from_millis(400)));
+        let supervisor = SupervisorConfig::new()
+            .dispatch_timeout(Duration::from_millis(30))
+            .chaos(plan);
+        let counters = Arc::clone(&supervisor.counters);
+        let config = PipelineConfig::new(1).batch_size(1);
+        let mut pipeline = ShardedPipeline::supervised(&config, supervisor, cms(101));
+        let mut timed_out = false;
+        // The first batch stalls the worker; the channel backs up, and a
+        // bounded dispatch must give up within its deadline instead of
+        // blocking behind the wedged shard.
+        for item in 0..32u64 {
+            if let Err(PipelineError::Timeout { operation, .. }) = pipeline.try_push(item) {
+                assert_eq!(operation, "dispatch");
+                timed_out = true;
+                break;
+            }
+        }
+        assert!(timed_out, "a stalled worker must not block a bounded push");
+        assert!(counters.timeouts.get() >= 1);
+        assert!(pipeline.lost_items() >= 1);
+        let out = pipeline.finish();
+        assert_eq!(
+            out.items - out.lost_items,
+            out.shards[0].items,
+            "accounting matches what the worker really applied"
+        );
+    }
+
+    #[test]
+    fn supervised_healthy_run_matches_unsupervised() {
+        let items = zipfish_stream(20_000, 500, 103);
+        let config = PipelineConfig::new(4).batch_size(64);
+        let supervisor = SupervisorConfig::new().restart(3);
+        let counters = Arc::clone(&supervisor.counters);
+        let mut pipeline = ShardedPipeline::supervised(&config, supervisor, cms(107));
+        pipeline.extend(&items);
+        let out = pipeline.finish();
+        let plain = run_sharded(&config, cms(107), &items);
+        for item in 0..500u64 {
+            assert_eq!(out.merged.estimate(item), plain.merged.estimate(item));
+        }
+        assert!(!out.is_degraded());
+        assert_eq!(counters.worker_panics.get(), 0);
+        assert_eq!(counters.dropped_items.get(), 0);
     }
 }

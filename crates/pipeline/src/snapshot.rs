@@ -17,6 +17,41 @@ use salsa_sketches::heavy_hitters::TopK;
 use crate::sharded::ShardStats;
 use crate::summary::{DistinctQueries, FrequencyQueries, TrackedQueries, UniversalQueries};
 
+/// How much of the acknowledged stream a [`SnapshotView`] actually covers.
+///
+/// A healthy pipeline serves *full* views (`shards_failed == 0`,
+/// `uncovered_items == 0`).  When shard workers have died, the surviving
+/// shards still assemble into a view — an answer-with-caveats — and this
+/// metadata names the gap, so a caller can decide whether a degraded
+/// answer is good enough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverageMeta {
+    /// Shards whose state is represented in the view.
+    pub shards_ok: usize,
+    /// Shards that are dead (or unreachable) and contribute nothing.
+    pub shards_failed: usize,
+    /// Items that were acknowledged (applied by some worker) but are *not*
+    /// reflected in the view: applied by a shard that later died, or by a
+    /// dead incarnation of a since-restarted shard.
+    pub uncovered_items: u64,
+}
+
+impl CoverageMeta {
+    /// Full coverage over `shards` shards — the healthy-pipeline value.
+    pub fn full(shards: usize) -> Self {
+        Self {
+            shards_ok: shards,
+            shards_failed: 0,
+            uncovered_items: 0,
+        }
+    }
+
+    /// `true` when nothing is missing.
+    pub fn is_full(&self) -> bool {
+        self.shards_failed == 0 && self.uncovered_items == 0
+    }
+}
+
 /// An immutable, epoch-stamped snapshot of the pipeline's merged state.
 ///
 /// **Epoch semantics:** the epoch is the number of acknowledged updates the
@@ -35,17 +70,28 @@ pub struct SnapshotView<S> {
     merged: S,
     epoch: u64,
     generation: u64,
+    coverage: CoverageMeta,
     shards: Vec<ShardStats>,
     issued: Instant,
     assembled: Instant,
 }
 
 impl<S> SnapshotView<S> {
-    pub(crate) fn new(merged: S, epoch: u64, shards: Vec<ShardStats>, issued: Instant) -> Self {
+    /// A view with explicit (possibly degraded) coverage metadata; `shards`
+    /// holds the stats of the *surviving* shards only.  A healthy assembly
+    /// passes [`CoverageMeta::full`].
+    pub(crate) fn with_coverage(
+        merged: S,
+        epoch: u64,
+        coverage: CoverageMeta,
+        shards: Vec<ShardStats>,
+        issued: Instant,
+    ) -> Self {
         Self {
             merged,
             epoch,
             generation: 0,
+            coverage,
             shards,
             issued,
             assembled: Instant::now(),
@@ -53,9 +99,16 @@ impl<S> SnapshotView<S> {
     }
 
     /// Decomposes the view so the elastic layer can fold sealed generations
-    /// into it and re-stamp the epoch (`(merged, epoch, shards, issued)`).
-    pub(crate) fn into_parts(self) -> (S, u64, Vec<ShardStats>, Instant) {
-        (self.merged, self.epoch, self.shards, self.issued)
+    /// into it and re-stamp the epoch
+    /// (`(merged, epoch, coverage, shards, issued)`).
+    pub(crate) fn into_parts(self) -> (S, u64, CoverageMeta, Vec<ShardStats>, Instant) {
+        (
+            self.merged,
+            self.epoch,
+            self.coverage,
+            self.shards,
+            self.issued,
+        )
     }
 
     /// Rebuilds a view from [`SnapshotView::into_parts`] output with a new
@@ -65,6 +118,7 @@ impl<S> SnapshotView<S> {
         merged: S,
         epoch: u64,
         generation: u64,
+        coverage: CoverageMeta,
         shards: Vec<ShardStats>,
         issued: Instant,
     ) -> Self {
@@ -72,6 +126,7 @@ impl<S> SnapshotView<S> {
             merged,
             epoch,
             generation,
+            coverage,
             shards,
             issued,
             assembled: Instant::now(),
@@ -96,6 +151,44 @@ impl<S> SnapshotView<S> {
     #[inline]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// How much of the acknowledged stream this view covers.  Full for a
+    /// healthy pipeline; a view assembled while shard workers are dead
+    /// names the gap here instead of failing.
+    #[inline]
+    pub fn coverage(&self) -> CoverageMeta {
+        self.coverage
+    }
+
+    /// Shards represented in this view (see [`CoverageMeta`]).
+    #[inline]
+    pub fn shards_ok(&self) -> usize {
+        self.coverage.shards_ok
+    }
+
+    /// Dead shards contributing nothing to this view (see [`CoverageMeta`]).
+    #[inline]
+    pub fn shards_failed(&self) -> usize {
+        self.coverage.shards_failed
+    }
+
+    /// Fraction of acknowledged items this view covers:
+    /// `epoch / (epoch + uncovered_items)`, i.e. `1.0` for a full view.
+    /// Estimates from a degraded view under-count roughly in proportion.
+    pub fn coverage_fraction(&self) -> f64 {
+        let acknowledged = self.epoch + self.coverage.uncovered_items;
+        if acknowledged == 0 {
+            1.0
+        } else {
+            self.epoch as f64 / acknowledged as f64
+        }
+    }
+
+    /// `true` when any shard is missing from the view or acknowledged items
+    /// are uncovered — i.e. when answers carry caveats.
+    pub fn is_degraded(&self) -> bool {
+        !self.coverage.is_full()
     }
 
     /// Per-shard statistics at the moment each shard was cloned.

@@ -1,0 +1,242 @@
+//! loom-lite interleaving models of the worker-supervision protocol.
+//!
+//! Like `tests/loom_models.rs`, these are distilled re-implementations of a
+//! shared-state protocol — here the one in `src/sharded.rs`'s
+//! `spawn_worker` — built directly on `loom_lite::sync` so they run (and
+//! exhaust their bounded schedule space) under a plain `cargo test`.  The
+//! real worker blocks on an `mpsc` channel a schedule explorer cannot
+//! preempt; the models keep what matters — who publishes what, in which
+//! order — and replace the channel with an atomic "disconnected" flag.
+//!
+//! 1. **Death publication order.**  A dying worker's final acts are, in
+//!    order: publish its last `applied` count, mark itself `Down` on the
+//!    health board, and only *then* disconnect its channel.  That order is
+//!    the supervision protocol's core invariant: any observer of a failed
+//!    send/recv (i.e. of the disconnect) can classify the shard by reading
+//!    the board, and the progress it then reads is the dead incarnation's
+//!    final word.  A deliberately buggy twin that disconnects *before*
+//!    marking the board must be caught by the checker.
+//! 2. **Restart monotonicity.**  A restarted worker publishes
+//!    `applied_base + incarnation_items` into the *same* shared counter,
+//!    so `applied` never decreases across a death/restart — the property
+//!    every epoch and staleness computation relies on.  The buggy twin
+//!    publishes its raw incarnation count and must be caught.
+
+use loom_lite::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use loom_lite::sync::Arc;
+use loom_lite::{thread, Builder};
+
+/// Health-board states, as in `supervisor::ShardState`.
+const UP: u32 = 0;
+const DOWN: u32 = 1;
+
+/// The shared state one shard's supervision protocol touches: the progress
+/// counter, the health cell, and the channel's disconnect (modeled as a
+/// flag the dying thread raises when its receiver drops).
+struct Seat {
+    applied: AtomicU64,
+    health: AtomicU32,
+    disconnected: AtomicBool,
+}
+
+impl Seat {
+    fn new() -> Self {
+        Seat {
+            applied: AtomicU64::new(0),
+            health: AtomicU32::new(UP),
+            disconnected: AtomicBool::new(false),
+        }
+    }
+}
+
+const BATCHES: u64 = 2;
+
+/// The correct dying worker: progress, then fate, then disconnect.
+fn die_publishing_fate_first(seat: &Seat) {
+    for batch in 1..=BATCHES {
+        seat.applied.store(batch, Ordering::Release);
+    }
+    seat.health.store(DOWN, Ordering::Release);
+    seat.disconnected.store(true, Ordering::Release);
+}
+
+/// Model 1: an observer of the disconnect can always classify the shard.
+///
+/// Two shard workers die concurrently (as under a fault plan that panics
+/// more than one shard); the observer models `ShardedPipeline::dispatch`
+/// (or a snapshot reply path) seeing a send/recv error: once a seat's
+/// `disconnected` is visible, its health board must already say `Down`,
+/// and its `applied` must already hold the dead incarnation's final count
+/// — so `note_shard_down` settles the books from a stable value, never a
+/// moving one, no matter how the two deaths interleave.
+#[test]
+fn death_is_on_the_board_before_the_channel_closes() {
+    let report = Builder::default().preemption_bound(3).check(|| {
+        let seats: Vec<_> = (0..2).map(|_| Arc::new(Seat::new())).collect();
+        let workers: Vec<_> = seats
+            .iter()
+            .map(|seat| {
+                let worker_seat = Arc::clone(seat);
+                thread::spawn(move || {
+                    die_publishing_fate_first(&worker_seat);
+                })
+            })
+            .collect();
+        // The producer-side observer polls; a real one blocks in send().
+        for _ in 0..2 {
+            for seat in &seats {
+                if seat.disconnected.load(Ordering::Acquire) {
+                    assert_eq!(
+                        seat.health.load(Ordering::Acquire),
+                        DOWN,
+                        "disconnect observed but the health board still says Up"
+                    );
+                    assert_eq!(
+                        seat.applied.load(Ordering::Acquire),
+                        BATCHES,
+                        "disconnect observed before the final progress publish"
+                    );
+                }
+            }
+            thread::yield_now();
+        }
+        for worker in workers {
+            worker.join().ok();
+        }
+        for seat in &seats {
+            assert!(seat.disconnected.load(Ordering::Acquire));
+            assert_eq!(seat.health.load(Ordering::Acquire), DOWN);
+        }
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete, "schedule space must be exhausted");
+    assert!(report.interleavings >= 1_000, "{}", report.interleavings);
+}
+
+/// Model 1's buggy twin: disconnect *before* the board is marked.  There is
+/// an interleaving where the observer sees the closed channel while the
+/// board still says `Up` — exactly the bug the publish order in
+/// `spawn_worker` exists to rule out — and the checker must find it.
+#[test]
+fn checker_catches_disconnect_before_fate_publish() {
+    let report = Builder::default().preemption_bound(4).check(|| {
+        let seat = Arc::new(Seat::new());
+        let worker_seat = Arc::clone(&seat);
+        let worker = thread::spawn(move || {
+            for batch in 1..=BATCHES {
+                worker_seat.applied.store(batch, Ordering::Release);
+            }
+            // BUG under test: the channel closes first, so an observer can
+            // classify a dead shard as Up and skip settling its books.
+            worker_seat.disconnected.store(true, Ordering::Release);
+            worker_seat.health.store(DOWN, Ordering::Release);
+        });
+        for _ in 0..2 {
+            if seat.disconnected.load(Ordering::Acquire) {
+                assert_eq!(
+                    seat.health.load(Ordering::Acquire),
+                    DOWN,
+                    "disconnect observed but the health board still says Up"
+                );
+            }
+            thread::yield_now();
+        }
+        worker.join().ok();
+    });
+    let failure = report
+        .failure
+        .expect("the Up-after-disconnect interleaving must be found");
+    assert!(
+        failure.message.contains("still says Up"),
+        "{}",
+        failure.message
+    );
+}
+
+const INCARNATION_ITEMS: u64 = 2;
+
+/// Model 2: `applied` is monotone across a death and restart.
+///
+/// Incarnation one applies two batches and dies (fate-first, as model 1
+/// establishes).  The supervisor reads the final count as `applied_base`
+/// and spawns incarnation two, which publishes `base + its own count` into
+/// the same counter — the contract in `ShardProgress`.  A concurrent
+/// reader (a live handle computing epochs or staleness) must never see the
+/// counter decrease.
+#[test]
+fn restart_keeps_applied_monotone() {
+    // Same bound rationale as the death-publication model above.
+    let report = Builder::default().preemption_bound(7).check(|| {
+        let seat = Arc::new(Seat::new());
+        let worker_seat = Arc::clone(&seat);
+        // Worker + supervisor fused, as in the real code: restart runs on
+        // the producer thread once it detects the death.
+        let producer = thread::spawn(move || {
+            die_publishing_fate_first(&worker_seat);
+            let applied_base = worker_seat.applied.load(Ordering::Acquire);
+            worker_seat.health.store(UP, Ordering::Release);
+            for item in 1..=INCARNATION_ITEMS {
+                worker_seat
+                    .applied
+                    .store(applied_base + item, Ordering::Release);
+            }
+        });
+        let mut last = 0;
+        for _ in 0..3 {
+            let applied = seat.applied.load(Ordering::Acquire);
+            assert!(
+                applied >= last,
+                "applied went backwards: {applied} < {last}"
+            );
+            last = applied;
+            thread::yield_now();
+        }
+        producer.join().ok();
+        assert_eq!(
+            seat.applied.load(Ordering::Acquire),
+            BATCHES + INCARNATION_ITEMS,
+            "the restart lost or double-counted progress"
+        );
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete, "schedule space must be exhausted");
+    assert!(report.interleavings >= 1_000, "{}", report.interleavings);
+}
+
+/// Model 2's buggy twin: the restarted incarnation publishes its *raw*
+/// count instead of `base + count`, so a reader can watch `applied` jump
+/// from 2 back to 1 — the checker must find that interleaving.
+#[test]
+fn checker_catches_restart_without_applied_base() {
+    let report = Builder::default().preemption_bound(4).check(|| {
+        let seat = Arc::new(Seat::new());
+        let worker_seat = Arc::clone(&seat);
+        let producer = thread::spawn(move || {
+            die_publishing_fate_first(&worker_seat);
+            worker_seat.health.store(UP, Ordering::Release);
+            for item in 1..=INCARNATION_ITEMS {
+                // BUG under test: the base is dropped on the floor.
+                worker_seat.applied.store(item, Ordering::Release);
+            }
+        });
+        let mut last = 0;
+        for _ in 0..3 {
+            let applied = seat.applied.load(Ordering::Acquire);
+            assert!(
+                applied >= last,
+                "applied went backwards: {applied} < {last}"
+            );
+            last = applied;
+            thread::yield_now();
+        }
+        producer.join().ok();
+    });
+    let failure = report
+        .failure
+        .expect("the backwards-applied interleaving must be found");
+    assert!(
+        failure.message.contains("went backwards"),
+        "{}",
+        failure.message
+    );
+}

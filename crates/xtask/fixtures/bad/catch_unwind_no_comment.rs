@@ -1,0 +1,7 @@
+//! Bad: a `catch_unwind` call site with no `// UNWIND-OK:` justification —
+//! the panic is swallowed without saying what invariant survives or where
+//! the failure is re-surfaced.
+
+pub fn swallow(body: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(body).is_ok()
+}

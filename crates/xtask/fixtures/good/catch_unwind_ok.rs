@@ -1,0 +1,12 @@
+//! Good: the `catch_unwind` call site carries a `// UNWIND-OK:` proof
+//! within the three preceding lines, and mentioning `catch_unwind` in
+//! comments or doc text alone never trips the rule (only call sites do).
+
+use std::panic::catch_unwind;
+
+/// Runs `body`, turning a panic into `false` — see `catch_unwind` docs.
+pub fn survives(body: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    // UNWIND-OK: the panic is converted into this function's boolean
+    // return value, so the caller observes the failure explicitly.
+    catch_unwind(body).is_ok()
+}

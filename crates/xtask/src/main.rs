@@ -26,8 +26,14 @@
 //!    attribute must carry `note = "…"` whose text names the replacement
 //!    in backticks, so `cargo`'s deprecation warning tells the user where
 //!    to go instead of just "don't" (all scanned files).
+//! 7. **Caught panics need a proof** — every `catch_unwind(` call site
+//!    must have a `// UNWIND-OK:` comment within the three preceding
+//!    lines explaining why swallowing the panic is sound (what invariant
+//!    survives the unwind, and where the failure is re-surfaced).  Applies
+//!    to all scanned files: a silently eaten panic is as dangerous in a
+//!    test harness as in library code.
 //!
-//! `#[cfg(test)]` modules are skipped (rules 3–6; rule 1 applies
+//! `#[cfg(test)]` modules are skipped (rules 3–6; rules 1 and 7 apply
 //! everywhere).  In tree mode (no file arguments) only `crates/*/src` is
 //! scanned and the per-crate scopes above apply; with explicit file
 //! arguments every rule is applied to every named file, which is what the
@@ -219,6 +225,16 @@ fn scan_source(path_label: &str, source: &str, scope: Scope, findings: &mut Vec<
                 idx,
                 "safety-comment",
                 format!("`{}` without a // SAFETY: comment", unsafe_keyword()),
+            );
+        }
+        // Rule 7 also applies everywhere (call sites only — `use` imports
+        // don't swallow anything): a caught panic needs the same kind of
+        // proof as an `unsafe` block, wherever it lives.
+        if code.contains("catch_unwind(") && !has_annotation(&lines, idx, "// UNWIND-OK:") {
+            push(
+                idx,
+                "unproven-unwind",
+                "catch_unwind( without a // UNWIND-OK: justification".to_string(),
             );
         }
         if mask[idx] {
@@ -465,6 +481,11 @@ mod tests {
         assert!(
             rules(&strict_findings("bad/snapshot_no_must_use.rs")).contains(&"snapshot-must-use")
         );
+        assert_eq!(
+            rules(&strict_findings("bad/catch_unwind_no_comment.rs")),
+            vec!["unproven-unwind"],
+            "exactly the call site trips, nothing else"
+        );
         let deprecated = strict_findings("bad/deprecated_no_note.rs");
         assert_eq!(
             rules(&deprecated),
@@ -480,6 +501,7 @@ mod tests {
             "good/unsafe_ok.rs",
             "good/test_mod.rs",
             "good/deprecated_note.rs",
+            "good/catch_unwind_ok.rs",
         ] {
             let findings = strict_findings(rel);
             assert!(findings.is_empty(), "{rel}: {findings:?}");
