@@ -26,8 +26,16 @@
 //! ingest rate under query load) and `elastic_mops` (wall-clock ingest
 //! rate of the elastic pipeline, including its rescale pauses); `wall_mops`
 //! is deliberately not among them because it scales with the runner's
-//! core count.  `--write-baseline` preserves an existing baseline's
-//! threshold and `gated_suffixes` while refreshing the numbers.  All of these
+//! core count.  A second array, `gated_lower_is_better`, gates metrics
+//! in the opposite direction — latencies and allocation counts regress
+//! by *rising* — with built-in defaults `p50_query_ms` (snapshot-query
+//! latency) and `allocs_per_query` (heap allocations per steady-state
+//! query, which should be zero and stay zero).  A zero baseline has no
+//! meaningful ratio, so lower-is-better metrics gate *absolutely* there:
+//! the fresh value must stay within `threshold` of zero — which is what
+//! keeps a zero-allocation promise enforceable.  `--write-baseline`
+//! preserves an existing baseline's threshold, `gated_suffixes` and
+//! `gated_lower_is_better` while refreshing the numbers.  All of these
 //! are absolute rates, so the committed baseline is tied to a hardware
 //! class: on a materially slower/faster runner, re-baseline with
 //! `--write-baseline` (or loosen `BENCH_REGRESSION_THRESHOLD`) rather
@@ -51,6 +59,11 @@ const LABEL_FIELDS: &[&str] = &["partition", "shards", "qps", "mode"];
 /// with the runner's core count, not with the code.
 const DEFAULT_GATED_SUFFIXES: &[&str] = &["scaled_mops", "ingest_mops", "elastic_mops"];
 
+/// Fallback lower-is-better gated-metric list, used when the baseline
+/// file carries no `gated_lower_is_better` array.  These regress by
+/// rising: query latency and per-query heap allocations.
+const DEFAULT_GATED_LOWER_SUFFIXES: &[&str] = &["p50_query_ms", "allocs_per_query"];
+
 fn default_gated_suffixes() -> Vec<String> {
     DEFAULT_GATED_SUFFIXES
         .iter()
@@ -58,16 +71,50 @@ fn default_gated_suffixes() -> Vec<String> {
         .collect()
 }
 
-/// Reads the baseline's `gated_suffixes` array.  Returns `None` when the
+fn default_gated_lower_is_better() -> Vec<String> {
+    DEFAULT_GATED_LOWER_SUFFIXES
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Reads one of the baseline's suffix arrays.  Returns `None` when the
 /// field is absent or malformed (non-array, empty, or non-string entries),
 /// so the caller can warn and fall back to the built-in defaults.
-fn gated_suffixes_of(doc: &Json) -> Option<Vec<String>> {
-    let entries = doc.get("gated_suffixes").and_then(Json::as_arr)?;
+fn suffix_list_of(doc: &Json, field: &str) -> Option<Vec<String>> {
+    let entries = doc.get(field).and_then(Json::as_arr)?;
     let suffixes: Vec<String> = entries
         .iter()
         .filter_map(|v| v.as_str().map(str::to_string))
         .collect();
     (!suffixes.is_empty() && suffixes.len() == entries.len()).then_some(suffixes)
+}
+
+/// Reads the baseline's `gated_suffixes` (higher-is-better) array.
+fn gated_suffixes_of(doc: &Json) -> Option<Vec<String>> {
+    suffix_list_of(doc, "gated_suffixes")
+}
+
+/// Reads the baseline's `gated_lower_is_better` array.
+fn gated_lower_is_better_of(doc: &Json) -> Option<Vec<String>> {
+    suffix_list_of(doc, "gated_lower_is_better")
+}
+
+/// Whether a gated metric's fresh value regressed past the threshold.
+/// Higher-is-better metrics regress by falling, lower-is-better ones by
+/// rising.  A (near-)zero baseline has no meaningful ratio: throughput
+/// metrics never gate there (they cannot fall below zero), while a
+/// lower-is-better zero (e.g. `allocs_per_query`) is a promise kept
+/// absolutely — the fresh value must stay within `threshold` of zero.
+fn regressed(old: f64, new: f64, threshold: f64, lower_is_better: bool) -> bool {
+    if old.abs() <= f64::EPSILON {
+        return lower_is_better && new > threshold;
+    }
+    if lower_is_better {
+        new > old * (1.0 + threshold)
+    } else {
+        new < old * (1.0 - threshold)
+    }
 }
 
 fn is_gated(metric: &str, suffixes: &[String]) -> bool {
@@ -133,17 +180,28 @@ fn read_json(path: &str) -> Result<Json, String> {
     parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn write_baseline(path: &str, threshold: f64, gated: &[String], metrics: &BTreeMap<String, f64>) {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"threshold\": {threshold},\n"));
-    out.push_str("  \"gated_suffixes\": [");
-    for (i, suffix) in gated.iter().enumerate() {
+fn write_suffix_array(out: &mut String, field: &str, suffixes: &[String]) {
+    out.push_str(&format!("  \"{field}\": ["));
+    for (i, suffix) in suffixes.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
         out.push_str(&format!("\"{}\"", escape(suffix)));
     }
     out.push_str("],\n");
+}
+
+fn write_baseline(
+    path: &str,
+    threshold: f64,
+    gated: &[String],
+    gated_lower: &[String],
+    metrics: &BTreeMap<String, f64>,
+) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threshold\": {threshold},\n"));
+    write_suffix_array(&mut out, "gated_suffixes", gated);
+    write_suffix_array(&mut out, "gated_lower_is_better", gated_lower);
     out.push_str("  \"metrics\": {\n");
     for (i, (name, value)) in metrics.iter().enumerate() {
         out.push_str(&format!(
@@ -227,7 +285,11 @@ fn main() {
             .as_ref()
             .and_then(gated_suffixes_of)
             .unwrap_or_else(default_gated_suffixes);
-        write_baseline(path, threshold, &gated, &fresh);
+        let gated_lower = previous
+            .as_ref()
+            .and_then(gated_lower_is_better_of)
+            .unwrap_or_else(default_gated_lower_is_better);
+        write_baseline(path, threshold, &gated, &gated_lower, &fresh);
         return;
     }
 
@@ -256,6 +318,13 @@ fn main() {
         );
         default_gated_suffixes()
     });
+    let lower_suffixes = gated_lower_is_better_of(&baseline_doc).unwrap_or_else(|| {
+        eprintln!(
+            "compare_bench: {baseline_path} has no usable \"gated_lower_is_better\" array; \
+             gating the built-in defaults {DEFAULT_GATED_LOWER_SUFFIXES:?}"
+        );
+        default_gated_lower_is_better()
+    });
 
     // Compare every metric either side knows about.
     let names: Vec<&String> = {
@@ -266,7 +335,7 @@ fn main() {
     };
     let mut table = String::new();
     table.push_str(&format!(
-        "### Perf gate: fresh snapshots vs `{baseline_path}` (fail below −{:.0}% on gated metrics)\n\n",
+        "### Perf gate: fresh snapshots vs `{baseline_path}` (gated metrics fail beyond ±{:.0}%)\n\n",
         threshold * 100.0
     ));
     table.push_str("| metric | baseline | fresh | Δ | status |\n");
@@ -274,7 +343,10 @@ fn main() {
     let mut failures = 0usize;
     for name in names {
         let (old, new) = (baseline.get(name), fresh.get(name));
-        let gated = is_gated(name, &gated_suffixes);
+        // A metric in both lists gates in the lower-is-better direction;
+        // keeping the lists disjoint in the baseline is the sane config.
+        let lower_is_better = is_gated(name, &lower_suffixes);
+        let gated = lower_is_better || is_gated(name, &gated_suffixes);
         let (delta, status) = match (old, new) {
             (Some(&old), Some(&new)) => {
                 let delta = if old.abs() > f64::EPSILON {
@@ -282,11 +354,11 @@ fn main() {
                 } else {
                     "—".to_string()
                 };
-                let regressed = gated && new < old * (1.0 - threshold);
-                if regressed {
+                let failed = gated && regressed(old, new, threshold, lower_is_better);
+                if failed {
                     failures += 1;
                 }
-                let status = match (gated, regressed) {
+                let status = match (gated, failed) {
                     (true, true) => "**REGRESSED**",
                     (true, false) => "ok",
                     (false, _) => "info",
@@ -365,6 +437,68 @@ mod tests {
     }
 
     #[test]
+    fn gated_lower_is_better_read_from_baseline_doc() {
+        let doc =
+            parse(r#"{"gated_lower_is_better": ["p50_query_ms", "allocs_per_query"]}"#).unwrap();
+        assert_eq!(
+            gated_lower_is_better_of(&doc),
+            Some(vec![
+                "p50_query_ms".to_string(),
+                "allocs_per_query".to_string()
+            ])
+        );
+    }
+
+    #[test]
+    fn absent_or_malformed_gated_lower_is_better_falls_back() {
+        for text in [
+            r#"{"threshold": 0.25}"#,
+            r#"{"gated_lower_is_better": []}"#,
+            r#"{"gated_lower_is_better": "p50_query_ms"}"#,
+            r#"{"gated_lower_is_better": ["p50_query_ms", 3]}"#,
+        ] {
+            let doc = parse(text).unwrap();
+            assert_eq!(gated_lower_is_better_of(&doc), None, "doc: {text}");
+        }
+    }
+
+    #[test]
+    fn lower_is_better_metrics_gate_by_default() {
+        let suffixes = default_gated_lower_is_better();
+        assert!(is_gated("fig_live_query/qps=100/p50_query_ms", &suffixes));
+        assert!(is_gated(
+            "fig_live_query/qps=100/allocs_per_query",
+            &suffixes
+        ));
+        assert!(!is_gated("fig_live_query/qps=100/ingest_mops", &suffixes));
+    }
+
+    #[test]
+    fn regression_direction_depends_on_metric_kind() {
+        // Higher-is-better: a drop past the threshold fails, a rise never does.
+        assert!(regressed(10.0, 7.0, 0.25, false));
+        assert!(!regressed(10.0, 8.0, 0.25, false));
+        assert!(!regressed(10.0, 20.0, 0.25, false));
+        // Lower-is-better: a rise past the threshold fails, a drop never does.
+        assert!(regressed(10.0, 13.0, 0.25, true));
+        assert!(!regressed(10.0, 12.0, 0.25, true));
+        assert!(!regressed(10.0, 1.0, 0.25, true));
+    }
+
+    #[test]
+    fn zero_baseline_gates_absolutely_for_lower_is_better() {
+        // Throughput can't fall below zero, so a zero baseline never
+        // gates in the higher-is-better direction.
+        assert!(!regressed(0.0, 5.0, 0.25, false));
+        // A lower-is-better zero is a kept promise: the fresh value must
+        // stay within the threshold of zero (an `allocs_per_query` of
+        // 0.0 in the baseline means new allocations fail the gate).
+        assert!(regressed(0.0, 5.0, 0.25, true));
+        assert!(!regressed(0.0, 0.0, 0.25, true));
+        assert!(!regressed(0.0, 0.2, 0.25, true));
+    }
+
+    #[test]
     fn gating_matches_metric_suffixes_only() {
         let suffixes = default_gated_suffixes();
         assert!(is_gated(
@@ -388,10 +522,12 @@ mod tests {
         let mut metrics = BTreeMap::new();
         metrics.insert("b/scaled_mops".to_string(), 10.0);
         let gated = vec!["scaled_mops".to_string(), "p99_query_ms".to_string()];
-        write_baseline(&path_str, 0.1, &gated, &metrics);
+        let gated_lower = vec!["p50_query_ms".to_string(), "allocs_per_query".to_string()];
+        write_baseline(&path_str, 0.1, &gated, &gated_lower, &metrics);
         let doc = read_json(&path_str).unwrap();
         assert_eq!(doc.get("threshold").and_then(Json::as_f64), Some(0.1));
         assert_eq!(gated_suffixes_of(&doc), Some(gated));
+        assert_eq!(gated_lower_is_better_of(&doc), Some(gated_lower));
         assert_eq!(
             flatten_baseline_metric(&doc, "b/scaled_mops"),
             Some(10.0),

@@ -1,0 +1,178 @@
+//! Counter *logic* over a contiguous word slice — the backend layer.
+//!
+//! This module is the "logic" half of the logic/backend split: every bit-field
+//! operation SALSA needs is a free function over a plain `&[u64]` /
+//! `&mut [u64]` word slice, so the same code runs against any contiguous
+//! backend — an owned [`crate::storage::BitStorage`], a borrowed sub-slice of
+//! a slab, or an externally managed arena.  [`crate::storage::BitStorage`]
+//! is now a thin owning wrapper that delegates here.
+//!
+//! SALSA counters are bit fields inside flat `u64` words.  Counters of width
+//! `s·2^ℓ` bits are always aligned to their own size (SALSA merges respect
+//! power-of-two alignment), so for widths up to 64 bits an aligned field never
+//! crosses a word boundary.  Tango counters, in contrast, may span an
+//! arbitrary number of base slots, so the unaligned accessors below also
+//! support fields that straddle two words.
+
+/// Number of `u64` words needed to back `bits` bits.
+#[inline(always)]
+pub const fn words_for_bits(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Reads an **aligned** field: `offset` must be a multiple of `width`, and
+/// `width` must divide 64 (or equal 64).  This is the hot path used by SALSA
+/// rows.
+#[inline(always)]
+pub fn read_aligned(words: &[u64], offset: usize, width: u32) -> u64 {
+    debug_assert!(width == 64 || 64 % width == 0);
+    debug_assert_eq!(offset % width as usize, 0);
+    let word = words[offset / 64];
+    if width == 64 {
+        word
+    } else {
+        let shift = (offset % 64) as u32;
+        (word >> shift) & field_mask(width)
+    }
+}
+
+/// Writes an **aligned** field (see [`read_aligned`]).
+#[inline(always)]
+pub fn write_aligned(words: &mut [u64], offset: usize, width: u32, value: u64) {
+    debug_assert!(width == 64 || 64 % width == 0);
+    debug_assert_eq!(offset % width as usize, 0);
+    debug_assert!(width == 64 || value <= field_mask(width));
+    let word = &mut words[offset / 64];
+    if width == 64 {
+        *word = value;
+    } else {
+        let shift = (offset % 64) as u32;
+        let mask = field_mask(width) << shift;
+        *word = (*word & !mask) | (value << shift);
+    }
+}
+
+/// Reads an arbitrary field of up to 64 bits that may straddle a word
+/// boundary (used by Tango).
+#[inline]
+pub fn read_unaligned(words: &[u64], offset: usize, width: u32) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    let word_idx = offset / 64;
+    let shift = (offset % 64) as u32;
+    let lo = words[word_idx] >> shift;
+    let in_first = 64 - shift;
+    let value = if width <= in_first {
+        lo
+    } else {
+        lo | (words[word_idx + 1] << in_first)
+    };
+    if width == 64 {
+        value
+    } else {
+        value & field_mask(width)
+    }
+}
+
+/// Writes an arbitrary field of up to 64 bits that may straddle a word
+/// boundary (used by Tango).
+#[inline]
+pub fn write_unaligned(words: &mut [u64], offset: usize, width: u32, value: u64) {
+    debug_assert!((1..=64).contains(&width));
+    debug_assert!(width == 64 || value <= field_mask(width));
+    let word_idx = offset / 64;
+    let shift = (offset % 64) as u32;
+    let in_first = (64 - shift).min(width);
+    // First word.
+    let mask_lo = if in_first == 64 {
+        u64::MAX
+    } else {
+        field_mask(in_first) << shift
+    };
+    words[word_idx] = (words[word_idx] & !mask_lo) | ((value << shift) & mask_lo);
+    // Second word, if the field straddles.
+    if width > in_first {
+        let rem = width - in_first;
+        let mask_hi = field_mask(rem);
+        words[word_idx + 1] = (words[word_idx + 1] & !mask_hi) | ((value >> in_first) & mask_hi);
+    }
+}
+
+/// Zeroes every bit in `[offset, offset + width)`.
+pub fn clear_range(words: &mut [u64], offset: usize, width: usize) {
+    let mut pos = offset;
+    let end = offset + width;
+    while pos < end {
+        let chunk = (end - pos).min(64 - pos % 64).min(64);
+        write_unaligned(words, pos, chunk as u32, 0);
+        pos += chunk;
+    }
+}
+
+/// Mask with the low `width` bits set (`width` in `1..=63`; 64 handled by
+/// callers).
+#[inline(always)]
+pub fn field_mask(width: u32) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Maximum value representable by an unsigned counter of `width` bits.
+#[inline(always)]
+pub fn unsigned_capacity(width: u32) -> u64 {
+    field_mask(width)
+}
+
+/// Maximum magnitude representable by a sign-magnitude counter of `width`
+/// bits (one bit is the sign).
+#[inline(always)]
+pub fn signed_magnitude_capacity(width: u32) -> u64 {
+    debug_assert!(width >= 2);
+    field_mask(width - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_runs_against_any_word_slice() {
+        // The point of the split: the same functions work over a borrowed
+        // sub-slice of a larger slab, not just owned storage.
+        let mut slab = [0u64; 8];
+        let rows = slab.split_at_mut(4);
+        write_aligned(rows.0, 8, 8, 0xAB);
+        write_aligned(rows.1, 8, 8, 0xCD);
+        assert_eq!(read_aligned(rows.0, 8, 8), 0xAB);
+        assert_eq!(read_aligned(rows.1, 8, 8), 0xCD);
+    }
+
+    #[test]
+    fn unaligned_straddle_on_borrowed_slice() {
+        let mut words = [0u64; 4];
+        write_unaligned(&mut words, 56, 24, 0xABCDEF);
+        assert_eq!(read_unaligned(&words, 56, 24), 0xABCDEF);
+        assert_eq!(read_unaligned(&words, 0, 56), 0);
+    }
+
+    #[test]
+    fn clear_range_on_slice() {
+        let mut words = [u64::MAX; 4];
+        clear_range(&mut words, 64, 96);
+        assert_eq!(read_aligned(&words, 0, 64), u64::MAX);
+        assert_eq!(read_unaligned(&words, 64, 64), 0);
+        assert_eq!(read_unaligned(&words, 128, 32), 0);
+        assert_eq!(read_unaligned(&words, 160, 64), u64::MAX);
+    }
+
+    #[test]
+    fn words_for_bits_rounds_up() {
+        assert_eq!(words_for_bits(0), 0);
+        assert_eq!(words_for_bits(1), 1);
+        assert_eq!(words_for_bits(64), 1);
+        assert_eq!(words_for_bits(65), 2);
+    }
+}

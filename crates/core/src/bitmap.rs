@@ -117,6 +117,11 @@ impl MergeEncoding for MergeBitmap {
     fn overhead_bits(width: usize) -> usize {
         width
     }
+
+    fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.len, src.len, "bitmap lengths must match");
+        self.words.copy_from_slice(&src.words);
+    }
 }
 
 #[cfg(test)]

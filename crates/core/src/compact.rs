@@ -146,6 +146,15 @@ impl MergeEncoding for LayoutCodes {
     fn overhead_bits(width: usize) -> usize {
         width.div_ceil(BLOCK) * CODE_BITS
     }
+
+    fn copy_from(&mut self, src: &Self) {
+        assert_eq!(
+            self.codes.len(),
+            src.codes.len(),
+            "layout code counts must match"
+        );
+        self.codes.copy_from_slice(&src.codes);
+    }
 }
 
 #[cfg(test)]

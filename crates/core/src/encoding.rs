@@ -36,4 +36,10 @@ pub trait MergeEncoding: Clone + std::fmt::Debug {
 
     /// Encoding overhead, in bits, for a row of `width` base counters.
     fn overhead_bits(width: usize) -> usize;
+
+    /// Overwrites this encoding with `src`'s state **without allocating**
+    /// (both must have been created for the same width).  This is the
+    /// buffer-reusing counterpart of `Clone`, used by the zero-allocation
+    /// snapshot path.
+    fn copy_from(&mut self, src: &Self);
 }

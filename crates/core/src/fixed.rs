@@ -115,6 +115,12 @@ impl Row for FixedRow {
         (0..self.width).filter(|&i| self.read(i) == 0).count() as f64
     }
 
+    fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.width, src.width, "row widths must match");
+        assert_eq!(self.bits, src.bits, "counter widths must match");
+        self.storage.copy_from(&src.storage);
+    }
+
     fn reset(&mut self) {
         self.storage.clear();
     }
@@ -190,6 +196,12 @@ impl SignedRow for FixedSignedRow {
 
     fn size_bytes(&self) -> usize {
         (self.values.len() * self.bits as usize).div_ceil(8)
+    }
+
+    fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.values.len(), src.values.len(), "row widths must match");
+        assert_eq!(self.bits, src.bits, "counter widths must match");
+        self.values.copy_from_slice(&src.values);
     }
 
     fn reset(&mut self) {

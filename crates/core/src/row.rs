@@ -384,6 +384,16 @@ impl<E: MergeEncoding> Row for SalsaRow<E> {
         unmerged_zero as f64 + f * merged_hidden_slots as f64
     }
 
+    fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.width, src.width, "row widths must match");
+        assert_eq!(self.base_bits, src.base_bits, "base widths must match");
+        assert_eq!(self.max_level, src.max_level, "max levels must match");
+        assert_eq!(self.merge_op, src.merge_op, "merge ops must match");
+        self.storage.copy_from(&src.storage);
+        self.encoding.copy_from(&src.encoding);
+        self.merge_events = src.merge_events;
+    }
+
     fn reset(&mut self) {
         self.storage.clear();
         self.encoding = E::for_width(self.width);
@@ -613,6 +623,15 @@ impl<E: MergeEncoding> SignedRow for SalsaSignedRow<E> {
 
     fn size_bytes(&self) -> usize {
         (self.width * self.base_bits as usize + E::overhead_bits(self.width)).div_ceil(8)
+    }
+
+    fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.width, src.width, "row widths must match");
+        assert_eq!(self.base_bits, src.base_bits, "base widths must match");
+        assert_eq!(self.max_level, src.max_level, "max levels must match");
+        self.storage.copy_from(&src.storage);
+        self.encoding.copy_from(&src.encoding);
+        self.merge_events = src.merge_events;
     }
 
     fn reset(&mut self) {

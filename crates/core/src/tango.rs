@@ -15,6 +15,7 @@
 //! least as tight (the property Fig. 7 evaluates).
 
 use crate::bitmap::MergeBitmap;
+use crate::encoding::MergeEncoding;
 use crate::storage::{unsigned_capacity, BitStorage};
 use crate::traits::{MergeOp, Row};
 
@@ -263,6 +264,15 @@ impl Row for TangoRow {
         }
         let f = unmerged_zero as f64 / unmerged as f64;
         unmerged_zero as f64 + f * merged_hidden_slots as f64
+    }
+
+    fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.width, src.width, "row widths must match");
+        assert_eq!(self.base_bits, src.base_bits, "base widths must match");
+        assert_eq!(self.merge_op, src.merge_op, "merge ops must match");
+        self.storage.copy_from(&src.storage);
+        MergeEncoding::copy_from(&mut self.merged_right, &src.merged_right);
+        self.merge_events = src.merge_events;
     }
 
     fn reset(&mut self) {

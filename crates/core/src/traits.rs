@@ -63,6 +63,12 @@ pub trait Row {
         self.size_bytes()
     }
 
+    /// Overwrites this row with `src`'s contents **without allocating**:
+    /// the buffer-reusing counterpart of `Clone`, used by the
+    /// zero-allocation snapshot/merge hot path to refresh a warm row in
+    /// place.  Both rows must have the same shape (width, counter sizes).
+    fn copy_from(&mut self, src: &Self);
+
     /// Resets every counter to zero without deallocating.
     fn reset(&mut self);
 }
@@ -87,6 +93,10 @@ pub trait SignedRow {
     fn clone_cost_bytes(&self) -> usize {
         self.size_bytes()
     }
+
+    /// Overwrites this row with `src`'s contents **without allocating**
+    /// (see [`Row::copy_from`]).
+    fn copy_from(&mut self, src: &Self);
 
     /// Resets every counter to zero without deallocating.
     fn reset(&mut self);
@@ -164,6 +174,43 @@ mod tests {
             SignedRow::clone_cost_bytes(&signed),
             SignedRow::size_bytes(&signed)
         );
+    }
+
+    #[test]
+    fn copy_from_refreshes_a_warm_row_in_place() {
+        // The zero-allocation snapshot path overwrites warm buffers instead
+        // of cloning; the result must be indistinguishable from a clone.
+        let mut src = crate::row::SimpleSalsaRow::new(32, 8, MergeOp::Sum);
+        for i in 0..2_000u64 {
+            src.add((i % 32) as usize, i % 300);
+        }
+        let mut dst = crate::row::SimpleSalsaRow::new(32, 8, MergeOp::Sum);
+        dst.add(3, 999); // stale state that must be fully overwritten
+        dst.copy_from(&src);
+        for i in 0..32 {
+            assert_eq!(dst.read(i), src.read(i), "slot {i}");
+            assert_eq!(dst.level_of(i), src.level_of(i), "slot {i}");
+        }
+        assert_eq!(dst.merge_events(), src.merge_events());
+
+        let mut tsrc = crate::tango::TangoRow::new(16, 8, MergeOp::Max);
+        tsrc.add(9, 300);
+        let mut tdst = crate::tango::TangoRow::new(16, 8, MergeOp::Max);
+        tdst.copy_from(&tsrc);
+        assert_eq!(tdst.read(9), tsrc.read(9));
+        assert_eq!(tdst.span_of(9), tsrc.span_of(9));
+
+        let mut fsrc = crate::fixed::FixedRow::new(16, 8);
+        fsrc.add(2, 77);
+        let mut fdst = crate::fixed::FixedRow::new(16, 8);
+        fdst.copy_from(&fsrc);
+        assert_eq!(fdst.read(2), 77);
+
+        let mut ssrc = crate::row::SimpleSalsaSignedRow::new(16, 8);
+        ssrc.add(5, -200);
+        let mut sdst = crate::row::SimpleSalsaSignedRow::new(16, 8);
+        sdst.copy_from(&ssrc);
+        assert_eq!(sdst.read(5), -200);
     }
 
     #[test]

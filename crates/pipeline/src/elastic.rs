@@ -33,7 +33,9 @@
 
 use std::time::{Duration, Instant};
 
-use crate::sync::{Arc, RwLock};
+use crate::sync::{Arc, Mutex, RwLock};
+
+use salsa_sketches::helper::MergeHelper;
 
 use crate::error::PipelineError;
 use crate::live::{CachePolicy, CachedSnapshots, LiveHandle, SnapshotSource};
@@ -162,6 +164,9 @@ pub struct ElasticPipeline<S: SnapshotSummary> {
     base_epoch: u64,
     generations: Vec<GenerationInfo>,
     events: Vec<RescaleEvent>,
+    /// Reusable merge scratch for the producer-side folds (seal, finish,
+    /// snapshot rebase).
+    helper: MergeHelper,
 }
 
 impl<S: SnapshotSummary> Drop for ElasticPipeline<S> {
@@ -210,6 +215,7 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
             base_epoch: 0,
             generations: Vec::new(),
             events: Vec::new(),
+            helper: MergeHelper::new(),
         }
     }
 
@@ -346,7 +352,7 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
             // and publish the result as a *new* Arc: queries holding the
             // old one stay consistent, and none of this clones counters.
             if let Some(previous) = &shared.sealed {
-                sealing.merge_from(previous);
+                sealing.merge_with_helper(previous, &mut self.helper);
             }
             shared.sealed = Some(Arc::new(sealing));
             shared.base_epoch = self.base_epoch;
@@ -398,6 +404,8 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
         ElasticHandle {
             shared: Arc::clone(&self.shared),
             retry: RetryPolicy::default(),
+            live: Mutex::new(None),
+            helper: Mutex::new(MergeHelper::new()),
         }
     }
 
@@ -414,7 +422,7 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
             let shared = self.shared.read().expect("elastic state lock poisoned");
             (shared.sealed.clone(), shared.generation)
         };
-        rebase(view, sealed, self.base_epoch, generation)
+        rebase(view, sealed, self.base_epoch, generation, &mut self.helper)
     }
 
     /// Flushes and stops the live generation, folds it into the sealed
@@ -443,7 +451,7 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
             None => last,
             Some(sealed) => {
                 let mut merged = last;
-                merged.merge_from(&sealed);
+                merged.merge_with_helper(&sealed, &mut self.helper);
                 merged
             }
         };
@@ -468,16 +476,18 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
 
 /// Folds the sealed union into a live view and re-stamps its epoch and
 /// generation.  The live merged summary is owned, so the fold is a single
-/// counter-wise merge — no summary is cloned here.
+/// counter-wise merge drawing scratch from `helper` — no summary is cloned
+/// and nothing beyond the helper's warm capacity is allocated here.
 fn rebase<S: SnapshotSummary>(
     view: SnapshotView<S>,
     sealed: Option<Arc<S>>,
     base_epoch: u64,
     generation: u64,
+    helper: &mut MergeHelper,
 ) -> SnapshotView<S> {
     let (mut live_merged, live_epoch, coverage, shards, issued) = view.into_parts();
     if let Some(sealed) = sealed {
-        live_merged.merge_from(&sealed);
+        live_merged.merge_with_helper(&sealed, helper);
     }
     SnapshotView::from_parts(
         live_merged,
@@ -502,6 +512,12 @@ fn rebase<S: SnapshotSummary>(
 pub struct ElasticHandle<S: SnapshotSummary> {
     shared: Arc<RwLock<Shared<S>>>,
     retry: RetryPolicy,
+    /// The live generation's handle, cloned once per generation (keyed by
+    /// the generation index) and reused across queries — so its snapshot
+    /// arena actually warms up instead of being re-created per call.
+    live: Mutex<Option<(u64, LiveHandle<S>)>>,
+    /// Reusable merge scratch for this handle's sealed-union rebases.
+    helper: Mutex<MergeHelper>,
 }
 
 impl<S: SnapshotSummary> Clone for ElasticHandle<S> {
@@ -509,6 +525,10 @@ impl<S: SnapshotSummary> Clone for ElasticHandle<S> {
         Self {
             shared: Arc::clone(&self.shared),
             retry: self.retry,
+            // Fresh (empty) scratch, as for `LiveHandle`: clones on
+            // different threads never contend on each other's caches.
+            live: Mutex::new(None),
+            helper: Mutex::new(MergeHelper::new()),
         }
     }
 }
@@ -571,21 +591,35 @@ impl<S: SnapshotSummary> ElasticHandle<S> {
         let started = Instant::now();
         let mut pause = self.retry.backoff.initial;
         loop {
-            let (live, sealed, base_epoch, generation) = {
-                // PANIC-OK: same poisoning argument as `shards`.
-                let shared = self.shared.read().expect("elastic state lock poisoned");
-                let Some(live) = shared.live.as_ref() else {
-                    return Err(PipelineError::Finished);
+            // Hold the cached-handle lock across resolve + snapshot so the
+            // (generation, live handle, sealed union) triple stays coherent
+            // even when clones of this handle race a rescale.
+            let result = {
+                // PANIC-OK: the lock only guards the cached clone; no user
+                // code runs under it.
+                let mut cached = self.live.lock().expect("cached live handle lock poisoned");
+                let (sealed, base_epoch, generation) = {
+                    // PANIC-OK: same poisoning argument as `shards`.
+                    let shared = self.shared.read().expect("elastic state lock poisoned");
+                    let Some(live) = shared.live.as_ref() else {
+                        return Err(PipelineError::Finished);
+                    };
+                    if cached.as_ref().is_none_or(|(g, _)| *g != shared.generation) {
+                        *cached = Some((shared.generation, live.clone()));
+                    }
+                    (shared.sealed.clone(), shared.base_epoch, shared.generation)
                 };
-                (
-                    live.clone(),
-                    shared.sealed.clone(),
-                    shared.base_epoch,
-                    shared.generation,
-                )
+                // PANIC-OK: refreshed just above and never cleared.
+                let (_, live) = cached.as_ref().expect("live handle cached above");
+                live.try_snapshot()
+                    .map(|view| (view, sealed, base_epoch, generation))
             };
-            match live.try_snapshot() {
-                Ok(view) => return Ok(rebase(view, sealed, base_epoch, generation)),
+            match result {
+                Ok((view, sealed, base_epoch, generation)) => {
+                    // PANIC-OK: the lock only guards the scratch buffer.
+                    let mut helper = self.helper.lock().expect("merge helper lock poisoned");
+                    return Ok(rebase(view, sealed, base_epoch, generation, &mut helper));
+                }
                 // A wedged worker missed its reply deadline: retrying
                 // against the same generation cannot help.
                 Err(err @ PipelineError::Timeout { .. }) => return Err(err),
@@ -631,8 +665,13 @@ impl<S: SnapshotSummary + FrequencyQueries> ElasticHandle<S> {
     /// fresh snapshot.  (Across generations there is no single owning
     /// shard, so no single-shard fast path exists — use a
     /// [`CachedSnapshots`] layer to amortize the snapshot cost instead.)
+    /// The view's summary buffer is recycled into the live generation's
+    /// arena afterwards, as for [`LiveHandle::estimate`].
     pub fn estimate(&self, item: u64) -> Option<i64> {
-        Some(self.snapshot()?.estimate(item))
+        let view = self.snapshot()?;
+        let estimate = view.estimate(item);
+        SnapshotSource::recycle(self, view.into_merged());
+        Some(estimate)
     }
 }
 
@@ -643,6 +682,14 @@ impl<S: SnapshotSummary> SnapshotSource<S> for ElasticHandle<S> {
 
     fn acknowledged(&self) -> u64 {
         ElasticHandle::acknowledged(self)
+    }
+
+    fn recycle(&self, spare: S) {
+        // PANIC-OK: the lock only guards the cached clone.
+        let cached = self.live.lock().expect("cached live handle lock poisoned");
+        if let Some((_, live)) = cached.as_ref() {
+            SnapshotSource::recycle(live, spare);
+        }
     }
 }
 

@@ -129,6 +129,7 @@ pub use elastic::{ElasticHandle, ElasticOutput, ElasticPipeline, GenerationInfo,
 pub use error::PipelineError;
 pub use live::{CachePolicy, CachedSnapshots, LiveHandle, SnapshotSource};
 pub use policy::{LoadMonitor, LoadSnapshot, Manual, ScalingPolicy, Threshold};
+pub use salsa_sketches::helper::MergeHelper;
 pub use sharded::{run_sharded, PipelineOutput, ShardLoad, ShardStats, ShardedPipeline};
 pub use snapshot::{CoverageMeta, SnapshotView};
 pub use summary::{

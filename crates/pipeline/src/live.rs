@@ -18,12 +18,50 @@ use crate::sync::{Arc, Mutex, RwLock};
 
 use salsa_hash::BobHash;
 use salsa_metrics::HealthCounters;
+use salsa_sketches::helper::MergeHelper;
 
 use crate::error::PipelineError;
 use crate::sharded::{Command, ShardProgress};
 use crate::snapshot::{CoverageMeta, SnapshotView};
 use crate::supervisor::{ShardHealth, ShardState};
 use crate::{FrequencyQueries, Partition, SnapshotSummary};
+
+/// A per-handle pool of spare summary buffers, recycled between snapshot
+/// assemblies: shard replies fold into the view and fold *back* into the
+/// pool, so after warm-up a handle's snapshots refresh existing counter
+/// storage (via [`SnapshotSummary::copy_from`] on the worker side) instead
+/// of cloning from scratch.  Bounded, so a burst of concurrent snapshots
+/// cannot hoard memory.
+pub(crate) struct SnapshotArena<S> {
+    spares: Mutex<Vec<S>>,
+    cap: usize,
+}
+
+impl<S> SnapshotArena<S> {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            spares: Mutex::new(Vec::with_capacity(cap)),
+            cap,
+        }
+    }
+
+    /// Takes one spare buffer, if any.
+    pub(crate) fn take(&self) -> Option<S> {
+        // PANIC-OK: the lock only guards a Vec push/pop; no user code runs
+        // under it, so poisoning is unreachable.
+        let mut spares = self.spares.lock().expect("snapshot arena lock poisoned");
+        spares.pop()
+    }
+
+    /// Returns a buffer to the pool; buffers beyond the cap are dropped.
+    pub(crate) fn put(&self, spare: S) {
+        // PANIC-OK: as for `take` — the lock guards a plain Vec operation.
+        let mut spares = self.spares.lock().expect("snapshot arena lock poisoned");
+        if spares.len() < self.cap {
+            spares.push(spare);
+        }
+    }
+}
 
 /// The shard workers' command senders, shared between the producer and
 /// every [`LiveHandle`] so a restarted shard's fresh channel is visible to
@@ -53,18 +91,27 @@ pub struct LiveHandle<S: SnapshotSummary> {
     health: Arc<ShardHealth>,
     counters: Arc<HealthCounters>,
     snapshot_timeout: Duration,
+    /// Spare snapshot buffers, recycled across this handle's snapshots.
+    arena: SnapshotArena<S>,
+    /// Reusable merge scratch for this handle's snapshot folds.
+    helper: Mutex<MergeHelper>,
 }
 
 impl<S: SnapshotSummary> Clone for LiveHandle<S> {
     fn clone(&self) -> Self {
         Self {
             senders: Arc::clone(&self.senders),
+            // ALLOC-OK: handle cloning is setup, not the query hot path.
             progress: self.progress.clone(),
             partition: self.partition,
             router: self.router,
             health: Arc::clone(&self.health),
             counters: Arc::clone(&self.counters),
             snapshot_timeout: self.snapshot_timeout,
+            // Fresh (empty) scratch: arenas and helpers are per-handle so
+            // clones on different threads never contend on them.
+            arena: SnapshotArena::new(self.arena.cap),
+            helper: Mutex::new(MergeHelper::new()),
         }
     }
 }
@@ -79,6 +126,9 @@ impl<S: SnapshotSummary> LiveHandle<S> {
         counters: Arc<HealthCounters>,
         snapshot_timeout: Duration,
     ) -> Self {
+        // One spare per shard plus one for a recycled merged view: exactly
+        // what one steady-state snapshot assembly consumes.
+        let arena = SnapshotArena::new(progress.len() + 1);
         Self {
             senders,
             progress,
@@ -87,6 +137,8 @@ impl<S: SnapshotSummary> LiveHandle<S> {
             health,
             counters,
             snapshot_timeout,
+            arena,
+            helper: Mutex::new(MergeHelper::new()),
         }
     }
 
@@ -100,6 +152,8 @@ impl<S: SnapshotSummary> LiveHandle<S> {
             // on a shard restart; no user code runs under it, so poisoning
             // is unreachable.
             .expect("sender directory lock poisoned")
+            // ALLOC-OK: N sender handles per snapshot, copied out so the
+            // lock is not held while sends block on backpressure.
             .clone()
     }
 
@@ -177,12 +231,32 @@ impl<S: SnapshotSummary> LiveHandle<S> {
         // prefixes are taken as close together in time as the channels allow.
         // A failed send means that worker is gone; its fate is classified
         // below, from the health board.
+        // ALLOC-OK: one reply channel and one request slot per shard; the
+        // dominant per-snapshot cost (the summary copies) is recycled
+        // through the arena instead.
         let requests: Vec<_> = self
             .current_senders()
             .iter()
             .map(|tx| {
                 let (reply_tx, reply_rx) = sync_channel(1);
-                tx.send(Command::Snapshot(reply_tx)).ok().map(|_| reply_rx)
+                let command = Command::Snapshot {
+                    reply: reply_tx,
+                    recycled: self.arena.take(),
+                };
+                match tx.send(command) {
+                    Ok(()) => Some(reply_rx),
+                    Err(err) => {
+                        // The worker is gone; reclaim the spare we attached.
+                        if let Command::Snapshot {
+                            recycled: Some(buf),
+                            ..
+                        } = err.0
+                        {
+                            self.arena.put(buf);
+                        }
+                        None
+                    }
+                }
             })
             .collect();
         let deadline = issued + self.snapshot_timeout;
@@ -219,7 +293,17 @@ impl<S: SnapshotSummary> LiveHandle<S> {
                     shards.push(reply.stats);
                     match merged.as_mut() {
                         None => merged = Some(reply.sketch),
-                        Some(m) => m.merge_from(&reply.sketch),
+                        Some(m) => {
+                            // PANIC-OK: the lock only guards the scratch
+                            // buffer; no user code runs under it.
+                            let mut helper =
+                                self.helper.lock().expect("merge helper lock poisoned");
+                            m.merge_with_helper(&reply.sketch, &mut helper);
+                            drop(helper);
+                            // The absorbed reply keeps its allocation alive
+                            // as a spare for the next snapshot.
+                            self.arena.put(reply.sketch);
+                        }
                     }
                 }
                 None => {
@@ -276,9 +360,22 @@ impl<S: SnapshotSummary> LiveHandle<S> {
             .current_senders()
             .get(shard)
             .ok_or(PipelineError::ShardDown { shard })?
+            // ALLOC-OK: a channel-sender handle (refcount bump, no heap
+            // data), detached so the directory Vec can drop first.
             .clone();
         let (reply_tx, reply_rx) = sync_channel(1);
-        if sender.send(Command::Snapshot(reply_tx)).is_err() {
+        let command = Command::Snapshot {
+            reply: reply_tx,
+            recycled: self.arena.take(),
+        };
+        if let Err(err) = sender.send(command) {
+            if let Command::Snapshot {
+                recycled: Some(buf),
+                ..
+            } = err.0
+            {
+                self.arena.put(buf);
+            }
             return Err(self.shard_gone(shard));
         }
         match reply_rx.recv_timeout(self.snapshot_timeout) {
@@ -295,6 +392,7 @@ impl<S: SnapshotSummary> LiveHandle<S> {
                     reply.sketch,
                     reply.stats.items,
                     coverage,
+                    // ALLOC-OK: one-element stats Vec per single-shard view.
                     vec![reply.stats],
                     issued,
                 ))
@@ -332,11 +430,17 @@ impl<S: SnapshotSummary + FrequencyQueries> LiveHandle<S> {
     /// Under [`Partition::ByKey`] this snapshots only the owning shard;
     /// under [`Partition::RoundRobin`] it falls back to a full merged
     /// snapshot.  Returns `None` once the pipeline has been finished.
+    /// Either way the view's summary buffer is recycled into the handle's
+    /// arena afterwards, so repeated point queries refresh one buffer
+    /// instead of cloning per call.
     pub fn estimate(&self, item: u64) -> Option<i64> {
-        match self.owner_of(item) {
-            Some(shard) => Some(self.snapshot_shard(shard)?.estimate(item)),
-            None => Some(self.snapshot()?.estimate(item)),
-        }
+        let view = match self.owner_of(item) {
+            Some(shard) => self.snapshot_shard(shard)?,
+            None => self.snapshot()?,
+        };
+        let estimate = view.estimate(item);
+        self.arena.put(view.into_merged());
+        Some(estimate)
     }
 }
 
@@ -352,6 +456,13 @@ pub trait SnapshotSource<S> {
     /// Total updates acknowledged by the pipeline right now; comparing it
     /// against a view's epoch gives the view's staleness in items.
     fn acknowledged(&self) -> u64;
+
+    /// Hands a no-longer-needed summary buffer (e.g. an expired view's)
+    /// back to the source, so a future snapshot assembly can refresh it in
+    /// place instead of allocating.  The default drops the buffer.
+    fn recycle(&self, spare: S) {
+        drop(spare);
+    }
 }
 
 impl<S: SnapshotSummary> SnapshotSource<S> for LiveHandle<S> {
@@ -361,6 +472,10 @@ impl<S: SnapshotSummary> SnapshotSource<S> for LiveHandle<S> {
 
     fn acknowledged(&self) -> u64 {
         LiveHandle::acknowledged(self)
+    }
+
+    fn recycle(&self, spare: S) {
+        self.arena.put(spare);
     }
 }
 
@@ -411,6 +526,7 @@ pub struct CachedSnapshots<H, S> {
 impl<H: Clone, S> Clone for CachedSnapshots<H, S> {
     fn clone(&self) -> Self {
         Self {
+            // ALLOC-OK: handle cloning is setup, not the query hot path.
             source: self.source.clone(),
             policy: self.policy,
             state: Arc::clone(&self.state),
@@ -477,6 +593,14 @@ impl<H: SnapshotSource<S>, S> CachedSnapshots<H, S> {
                 // published by the cache mutex, not by this increment.
                 self.state.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(Arc::clone(view));
+            }
+        }
+        // The cached view expired.  When no query thread still holds it,
+        // reclaim its summary buffer for the source's arena so the refresh
+        // below copies into it instead of allocating a fresh clone.
+        if let Some(stale) = cached.take() {
+            if let Ok(view) = Arc::try_unwrap(stale) {
+                self.source.recycle(view.into_merged());
             }
         }
         // Assemble while holding the lock: under a thundering herd of

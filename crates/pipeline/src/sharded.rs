@@ -8,9 +8,10 @@
 //!
 //! * `Ingest(batch)` — apply a batch through [`StreamSummary::ingest`](crate::StreamSummary::ingest) (the
 //!   hot path);
-//! * `Snapshot(reply)` — clone the shard's summary *as of every previously
-//!   queued batch* and send it back, so queries can run against a consistent
-//!   point-in-time copy while ingestion continues;
+//! * `Snapshot { reply, recycled }` — copy the shard's summary *as of every
+//!   previously queued batch* (into the recycled buffer when one is
+//!   supplied, else a fresh clone) and send it back, so queries can run
+//!   against a consistent point-in-time copy while ingestion continues;
 //! * `Drain(ack)` — acknowledge once all previously queued batches have been
 //!   applied (a per-shard barrier);
 //! * `Stop` — hand the final sketch back for the merged
@@ -105,9 +106,15 @@ impl ShardLoad {
 pub(crate) enum Command<S> {
     /// Apply a batch of items to the shard's sketch.
     Ingest(Vec<u64>),
-    /// Clone the shard's sketch (reflecting every previously queued batch)
-    /// and reply with it plus the shard's statistics.
-    Snapshot(SyncSender<ShardSnapshot<S>>),
+    /// Copy the shard's sketch (reflecting every previously queued batch)
+    /// and reply with it plus the shard's statistics.  When the requester
+    /// supplies a `recycled` buffer (a same-shape summary from a previous
+    /// snapshot), the worker refreshes it in place instead of allocating a
+    /// fresh clone.
+    Snapshot {
+        reply: SyncSender<ShardSnapshot<S>>,
+        recycled: Option<S>,
+    },
     /// Acknowledge once every previously queued batch has been applied.
     Drain(SyncSender<()>),
     /// Shut down and hand the final sketch back through the join handle.
@@ -260,9 +267,17 @@ fn worker_loop<S: SnapshotSummary>(
                     .applied
                     .store(applied_base + stats.items, Ordering::Release);
             }
-            Command::Snapshot(reply) => {
+            Command::Snapshot { reply, recycled } => {
                 let start = Instant::now();
-                let clone = sketch.clone();
+                let clone = match recycled {
+                    Some(mut buf) => {
+                        buf.copy_from(&sketch);
+                        buf
+                    }
+                    // ALLOC-OK: cold path — the first snapshot (or an arena
+                    // miss) has no spare buffer to refresh in place.
+                    None => sketch.clone(),
+                };
                 stats.snapshot_secs += start.elapsed().as_secs_f64();
                 stats.snapshots += 1;
                 // The requester may have given up (its thread exited

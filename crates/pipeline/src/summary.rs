@@ -26,6 +26,7 @@ use salsa_sketches::cus::ConservativeUpdate;
 use salsa_sketches::distinct::DistinctCounter;
 use salsa_sketches::estimator::FrequencyEstimator;
 use salsa_sketches::heavy_hitters::TopK;
+use salsa_sketches::helper::MergeHelper;
 use salsa_sketches::univmon::UnivMon;
 
 /// A summary whose same-seed, same-shape instances can ingest item batches
@@ -73,12 +74,35 @@ pub trait SnapshotSummary: StreamSummary + Clone {
     fn clone_cost_bytes(&self) -> usize;
 
     /// Counter-wise merges two summaries into a *new* one, leaving both
-    /// operands untouched — the snapshot-assembly primitive.  Same
-    /// seed/shape contract as [`StreamSummary::merge_from`].
+    /// operands untouched — the one-shot snapshot-assembly primitive.  Same
+    /// seed/shape contract as [`StreamSummary::merge_from`].  Steady-state
+    /// paths should prefer [`SnapshotSummary::copy_from`] +
+    /// [`SnapshotSummary::merge_with_helper`], which reuse existing buffers.
     fn merge_into_new(&self, other: &Self) -> Self {
+        // ALLOC-OK: one-shot entry point; steady-state callers reuse buffers
+        // via copy_from + merge_with_helper instead.
         let mut merged = self.clone();
         merged.merge_from(other);
         merged
+    }
+
+    /// Overwrites `self` with `src`'s contents, reusing `self`'s existing
+    /// backing storage where the implementation supports it — the
+    /// snapshot-refresh primitive.  Both operands must share seeds and
+    /// shapes (the same contract as [`StreamSummary::merge_from`]).
+    fn copy_from(&mut self, src: &Self) {
+        // ALLOC-OK: default fallback clones; summaries with flat counter
+        // storage override this with an in-place, allocation-free copy.
+        *self = src.clone();
+    }
+
+    /// Counter-wise merges `other` into `self`, drawing any scratch space
+    /// from `helper` instead of allocating.  Semantically identical to
+    /// [`StreamSummary::merge_from`] (same seed/shape contract); the default
+    /// simply delegates to it.
+    fn merge_with_helper(&mut self, other: &Self, helper: &mut MergeHelper) {
+        let _ = helper;
+        self.merge_from(other);
     }
 }
 
@@ -181,6 +205,14 @@ where
     fn clone_cost_bytes(&self) -> usize {
         CountMin::clone_cost_bytes(self)
     }
+
+    fn copy_from(&mut self, src: &Self) {
+        CountMin::copy_from(self, src);
+    }
+
+    fn merge_with_helper(&mut self, other: &Self, helper: &mut MergeHelper) {
+        CountMin::merge_with_helper(self, other, helper);
+    }
 }
 
 impl<R> SnapshotSummary for ConservativeUpdate<R>
@@ -190,6 +222,14 @@ where
     fn clone_cost_bytes(&self) -> usize {
         ConservativeUpdate::clone_cost_bytes(self)
     }
+
+    fn copy_from(&mut self, src: &Self) {
+        ConservativeUpdate::copy_from(self, src);
+    }
+
+    fn merge_with_helper(&mut self, other: &Self, helper: &mut MergeHelper) {
+        ConservativeUpdate::merge_with_helper(self, other, helper);
+    }
 }
 
 impl<S> SnapshotSummary for CountSketch<S>
@@ -198,6 +238,14 @@ where
 {
     fn clone_cost_bytes(&self) -> usize {
         CountSketch::clone_cost_bytes(self)
+    }
+
+    fn copy_from(&mut self, src: &Self) {
+        CountSketch::copy_from(self, src);
+    }
+
+    fn merge_with_helper(&mut self, other: &Self, helper: &mut MergeHelper) {
+        CountSketch::merge_with_helper(self, other, helper);
     }
 }
 
@@ -255,6 +303,14 @@ where
     fn clone_cost_bytes(&self) -> usize {
         UnivMon::clone_cost_bytes(self)
     }
+
+    fn copy_from(&mut self, src: &Self) {
+        UnivMon::copy_from(self, src);
+    }
+
+    fn merge_with_helper(&mut self, other: &Self, helper: &mut MergeHelper) {
+        UnivMon::merge_with_helper(self, other, helper);
+    }
 }
 
 impl<S: SignedRow> UniversalQueries for UnivMon<S> {
@@ -290,6 +346,14 @@ where
 {
     fn clone_cost_bytes(&self) -> usize {
         DistinctCounter::clone_cost_bytes(self)
+    }
+
+    fn copy_from(&mut self, src: &Self) {
+        DistinctCounter::copy_from(self, src);
+    }
+
+    fn merge_with_helper(&mut self, other: &Self, helper: &mut MergeHelper) {
+        DistinctCounter::merge_with_helper(self, other, helper);
     }
 }
 
@@ -383,6 +447,31 @@ where
     fn clone_cost_bytes(&self) -> usize {
         self.inner.clone_cost_bytes() + self.tracker.clone_cost_bytes()
     }
+
+    fn copy_from(&mut self, src: &Self) {
+        self.inner.copy_from(&src.inner);
+        self.tracker.copy_from(&src.tracker);
+    }
+
+    fn merge_with_helper(&mut self, other: &Self, helper: &mut MergeHelper) {
+        self.inner.merge_with_helper(&other.inner, helper);
+        // Rebuild the tracker through the helper's pair buffer instead of a
+        // fresh TopK: union both trackers' items (same largest-first order
+        // as `merge_from`), re-estimate each against the merged summary,
+        // then re-offer the survivors.
+        helper.pairs.clear();
+        self.tracker.copy_items_into(&mut helper.pairs);
+        other.tracker.copy_items_into(&mut helper.pairs);
+        for pair in helper.pairs.iter_mut() {
+            pair.1 = self.inner.estimate(pair.0).max(0) as u64;
+        }
+        self.tracker.clear();
+        for &(item, est) in helper.pairs.iter() {
+            if est > 0 {
+                self.tracker.offer(item, est);
+            }
+        }
+    }
 }
 
 impl<S: FrequencyQueries> FrequencyQueries for Tracked<S> {
@@ -469,6 +558,47 @@ mod tests {
         }
         assert!(left.tracked().contains(49));
         assert!(left.tracked().contains(48));
+    }
+
+    #[test]
+    fn tracked_merge_with_helper_matches_merge_from() {
+        let make = || Tracked::new(CountMin::baseline(4, 1 << 12, 32, 9), 8);
+        let mut items = Vec::new();
+        for item in 0..50u64 {
+            for _ in 0..=item {
+                items.push(item);
+            }
+        }
+        let (a, b) = items.split_at(items.len() / 3);
+
+        let mut plain = make();
+        let mut plain_rhs = make();
+        plain.ingest(a);
+        plain_rhs.ingest(b);
+        plain.merge_from(&plain_rhs);
+
+        let mut helped = make();
+        let mut helped_rhs = make();
+        helped.ingest(a);
+        helped_rhs.ingest(b);
+        let mut helper = MergeHelper::new();
+        helped.merge_with_helper(&helped_rhs, &mut helper);
+
+        assert_eq!(plain.tracked().items(), helped.tracked().items());
+        for item in 0..50u64 {
+            assert_eq!(plain.estimate(item), helped.estimate(item));
+        }
+    }
+
+    #[test]
+    fn tracked_copy_from_refreshes_in_place() {
+        let mut src = Tracked::new(CountMin::baseline(4, 1 << 12, 32, 9), 4);
+        src.ingest(&[7, 7, 7, 3, 3, 1]);
+        let mut dst = Tracked::new(CountMin::baseline(4, 1 << 12, 32, 9), 4);
+        dst.ingest(&[100, 100, 200]);
+        dst.copy_from(&src);
+        assert_eq!(dst.estimate(7), src.estimate(7));
+        assert_eq!(dst.tracked().items(), src.tracked().items());
     }
 
     #[test]

@@ -120,6 +120,53 @@ proptest! {
     }
 
     #[test]
+    fn helper_based_folds_are_invisible_across_1_3_2_rescale(
+        items in prop::collection::vec(0u64..UNIVERSE, 3..400),
+        cut_a in 0usize..400,
+        cut_b in 0usize..400,
+    ) {
+        // The fixed 1 → 3 → 2 schedule exercised by the zero-allocation
+        // work: every merge on this path — the sealed-generation folds on
+        // rescale, and the consumer handle's rebase of live views over
+        // sealed state — goes through `merge_with_helper` into reused
+        // scratch, and must stay byte-identical to the one-shot merges it
+        // replaced.  The same handle takes both snapshots, so its cached
+        // per-generation live clone and helper are reused across the
+        // generation bump.
+        let (first, second) = {
+            let a = cut_a.min(items.len());
+            let b = cut_b.min(items.len());
+            (a.min(b), a.max(b))
+        };
+        let config = PipelineConfig::new(1).batch_size(32);
+        let mut pipeline = ElasticPipeline::new(&config, make_sketch());
+        let handle = pipeline.handle();
+
+        pipeline.extend(&items[..first]);
+        pipeline.rescale(3);
+        let view = handle.snapshot().expect("pipeline is live");
+        prop_assert_eq!(view.epoch(), first as u64);
+        let prefix = unsharded(&items[..first]);
+        for item in 0..UNIVERSE {
+            prop_assert_eq!(view.estimate(item), prefix.estimate(item) as i64, "item {}", item);
+        }
+
+        pipeline.extend(&items[first..second]);
+        pipeline.rescale(2);
+        let view = handle.snapshot().expect("pipeline is live");
+        prop_assert_eq!(view.epoch(), second as u64);
+        let prefix = unsharded(&items[..second]);
+        for item in 0..UNIVERSE {
+            prop_assert_eq!(view.estimate(item), prefix.estimate(item) as i64, "item {}", item);
+        }
+
+        pipeline.extend(&items[second..]);
+        let out = pipeline.finish();
+        prop_assert_eq!(out.items, items.len() as u64);
+        assert_counter_identical(&out.merged, &unsharded(&items))?;
+    }
+
+    #[test]
     fn back_to_back_rescales_with_no_items_between(
         items in prop::collection::vec(0u64..UNIVERSE, 1..300),
         cut in 0usize..300,

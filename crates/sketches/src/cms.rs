@@ -20,6 +20,7 @@ use salsa_core::traits::{MergeOp, Row};
 use salsa_hash::RowHashers;
 
 use crate::estimator::FrequencyEstimator;
+use crate::helper::MergeHelper;
 
 /// A Count-Min Sketch over an arbitrary row type.
 #[derive(Debug, Clone)]
@@ -134,6 +135,18 @@ impl<R: Row> CountMin<R> {
     pub fn reset(&mut self) {
         self.rows.iter_mut().for_each(Row::reset);
     }
+
+    /// Overwrites this sketch with `src`'s contents **without allocating**:
+    /// the buffer-reusing counterpart of `Clone`, used to refresh a warm
+    /// snapshot buffer in place.  Both sketches must share seed and shape.
+    pub fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.seed, src.seed, "sketches must share hash seeds");
+        assert_eq!(self.depth(), src.depth(), "sketch depths must match");
+        assert_eq!(self.width(), src.width(), "sketch widths must match");
+        for (dst, src_row) in self.rows.iter_mut().zip(src.rows.iter()) {
+            dst.copy_from(src_row);
+        }
+    }
 }
 
 impl<R: Row + Clone> CountMin<R> {
@@ -190,9 +203,20 @@ impl<R: Row + RowMerge> CountMin<R> {
     where
         R: Clone,
     {
+        // ALLOC-OK: this is the *allocating* entry point, kept as a thin
+        // wrapper around the allocation-free merge for one-shot callers.
         let mut merged = self.clone();
         merged.merge_from(other);
         merged
+    }
+
+    /// Counter-wise merges `other` into `self`, reusing the scratch space of
+    /// `helper` so the merge allocates nothing.  CMS row merges are already
+    /// allocation-free, so the helper is unused here; it exists so every
+    /// sketch exposes the same helper-threaded merge entry point.
+    #[inline]
+    pub fn merge_with_helper(&mut self, other: &Self, _helper: &mut MergeHelper) {
+        self.merge_from(other);
     }
 
     /// Subtracts another sketch built with the same seed and dimensions.

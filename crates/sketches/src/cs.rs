@@ -20,6 +20,12 @@ use salsa_core::traits::SignedRow;
 use salsa_hash::{RowHashers, SignHash};
 
 use crate::estimator::FrequencyEstimator;
+use crate::helper::MergeHelper;
+
+/// Rows up to this depth take the stack-buffer median path in
+/// [`CountSketch::estimate`]; deeper sketches (unheard of in practice — the
+/// paper uses single-digit depths) fall back to a heap buffer.
+const MEDIAN_STACK_DEPTH: usize = 32;
 
 /// A Count Sketch over an arbitrary signed-row type.
 #[derive(Debug, Clone)]
@@ -97,15 +103,37 @@ impl<S: SignedRow> CountSketch<S> {
     }
 
     /// Estimates the frequency of `item` (median over the rows).
+    ///
+    /// The per-row values are collected into a stack buffer for the depths
+    /// used in practice, so point queries allocate nothing — this sits on
+    /// the steady-state query hot path.
     pub fn estimate(&self, item: u64) -> i64 {
-        let mut per_row: Vec<i64> = self
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(row_idx, row)| {
-                row.read(self.hashers.bucket(row_idx, item)) * self.signs.sign(row_idx, item)
-            })
-            .collect();
+        let n = self.rows.len();
+        if n <= MEDIAN_STACK_DEPTH {
+            let mut buf = [0i64; MEDIAN_STACK_DEPTH];
+            for (row_idx, row) in self.rows.iter().enumerate() {
+                buf[row_idx] =
+                    row.read(self.hashers.bucket(row_idx, item)) * self.signs.sign(row_idx, item);
+            }
+            Self::median(&mut buf[..n])
+        } else {
+            // ALLOC-OK: depths beyond the stack buffer are outside every
+            // practical configuration; correctness wins over allocation here.
+            let mut per_row: Vec<i64> = self
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(row_idx, row)| {
+                    row.read(self.hashers.bucket(row_idx, item)) * self.signs.sign(row_idx, item)
+                })
+                .collect();
+            Self::median(&mut per_row)
+        }
+    }
+
+    /// Median of the (unsorted) per-row values; even lengths average the two
+    /// middle values, rounded toward zero.
+    fn median(per_row: &mut [i64]) -> i64 {
         per_row.sort_unstable();
         let n = per_row.len();
         if n % 2 == 1 {
@@ -124,6 +152,20 @@ impl<S: SignedRow> CountSketch<S> {
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
         self.rows.iter_mut().for_each(SignedRow::reset);
+    }
+
+    /// Overwrites this sketch with `src`'s contents **without allocating**
+    /// (see [`CountMin::copy_from`]).  Both sketches must share seed and
+    /// shape.
+    ///
+    /// [`CountMin::copy_from`]: crate::cms::CountMin::copy_from
+    pub fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.seed, src.seed, "sketches must share hash seeds");
+        assert_eq!(self.depth(), src.depth(), "sketch depths must match");
+        assert_eq!(self.width(), src.width(), "sketch widths must match");
+        for (dst, src_row) in self.rows.iter_mut().zip(src.rows.iter()) {
+            dst.copy_from(src_row);
+        }
     }
 }
 
@@ -181,9 +223,19 @@ impl<S: SignedRow + RowMerge> CountSketch<S> {
     where
         S: Clone,
     {
+        // ALLOC-OK: the allocating one-shot entry point, kept as a thin
+        // wrapper over the allocation-free merge.
         let mut merged = self.clone();
         merged.merge_from(other);
         merged
+    }
+
+    /// Counter-wise merges `other` into `self`, reusing `helper`'s scratch.
+    /// CS row merges are already allocation-free, so the helper is unused;
+    /// the method exists for API uniformity across sketches.
+    #[inline]
+    pub fn merge_with_helper(&mut self, other: &Self, _helper: &mut MergeHelper) {
+        self.merge_from(other);
     }
 }
 

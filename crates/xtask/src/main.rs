@@ -32,12 +32,20 @@
 //!    survives the unwind, and where the failure is re-surfaced).  Applies
 //!    to all scanned files: a silently eaten panic is as dangerous in a
 //!    test harness as in library code.
+//! 8. **Hot paths justify their allocations** — in the zero-allocation
+//!    hot-path modules (`snapshot.rs`, `live.rs`, and the `merge.rs` merge
+//!    impls under `crates/*/src`), an allocating construct (`Vec::new(`,
+//!    `vec![`, `.to_vec(`, `.clone()`) must carry a `// ALLOC-OK:`
+//!    justification within the three preceding lines.  These modules back
+//!    the steady-state query/merge path, which is supposed to reuse
+//!    buffers (`copy_from` / `merge_with_helper`) — an unjustified
+//!    allocation there is a regression waiting for the alloc gate.
 //!
-//! `#[cfg(test)]` modules are skipped (rules 3–6; rules 1 and 7 apply
-//! everywhere).  In tree mode (no file arguments) only `crates/*/src` is
-//! scanned and the per-crate scopes above apply; with explicit file
-//! arguments every rule is applied to every named file, which is what the
-//! fixture self-tests use.
+//! `#[cfg(test)]` modules are skipped (rules 3–6 and 8; rules 1 and 7
+//! apply everywhere).  In tree mode (no file arguments) only
+//! `crates/*/src` is scanned and the per-crate scopes above apply; with
+//! explicit file arguments every rule is applied to every named file,
+//! which is what the fixture self-tests use.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -62,6 +70,8 @@ struct Scope {
     must_use: bool,
     /// Rule 2: this file is a crate root that must forbid unsafe code.
     crate_root: bool,
+    /// Rule 8: allocating constructs need `// ALLOC-OK:`.
+    hot_path_alloc: bool,
 }
 
 impl Scope {
@@ -72,6 +82,7 @@ impl Scope {
             panics: true,
             must_use: true,
             crate_root: path.file_name().is_some_and(|n| n == "lib.rs"),
+            hot_path_alloc: true,
         }
     }
 
@@ -79,11 +90,15 @@ impl Scope {
     fn for_tree_path(path: &Path) -> Self {
         let normalized = path.to_string_lossy().replace('\\', "/");
         let in_crate = |name: &str| normalized.contains(&format!("crates/{name}/src/"));
+        let hot_module = ["/snapshot.rs", "/live.rs", "/merge.rs"]
+            .iter()
+            .any(|name| normalized.ends_with(name));
         Self {
             relaxed: in_crate("pipeline") || in_crate("metrics"),
             panics: in_crate("pipeline") || in_crate("metrics") || in_crate("core"),
             must_use: in_crate("pipeline"),
             crate_root: normalized.contains("crates/") && normalized.ends_with("/src/lib.rs"),
+            hot_path_alloc: normalized.contains("crates/") && hot_module,
         }
     }
 }
@@ -270,6 +285,19 @@ fn scan_source(path_label: &str, source: &str, scope: Scope, findings: &mut Vec<
             for banned in ["println!", "print!", "eprintln!", "eprint!", "dbg!"] {
                 if has_token(&code, banned) {
                     push(idx, "stdio-in-library", format!("{banned} in library code"));
+                }
+            }
+        }
+        if scope.hot_path_alloc {
+            for needle in ["Vec::new(", "vec![", ".to_vec(", ".clone()"] {
+                if code.contains(needle) && !has_annotation(&lines, idx, "// ALLOC-OK:") {
+                    push(
+                        idx,
+                        "hot-path-alloc",
+                        format!(
+                            "{needle} in a hot-path module without an // ALLOC-OK: justification"
+                        ),
+                    );
                 }
             }
         }
@@ -492,6 +520,12 @@ mod tests {
             vec!["deprecated-note"; 3],
             "bare, empty-note and vague-note deprecations each trip: {deprecated:?}"
         );
+        let allocs = strict_findings("bad/hot_path_alloc.rs");
+        assert_eq!(
+            rules(&allocs),
+            vec!["hot-path-alloc"; 4],
+            "Vec::new, vec!, to_vec and clone each trip: {allocs:?}"
+        );
     }
 
     #[test]
@@ -502,6 +536,7 @@ mod tests {
             "good/test_mod.rs",
             "good/deprecated_note.rs",
             "good/catch_unwind_ok.rs",
+            "good/hot_path_alloc_ok.rs",
         ] {
             let findings = strict_findings(rel);
             assert!(findings.is_empty(), "{rel}: {findings:?}");
