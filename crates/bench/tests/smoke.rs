@@ -46,6 +46,7 @@ const BINARIES: &[(&str, &str)] = &[
     ("fig_live_query", env!("CARGO_BIN_EXE_fig_live_query")),
     ("fig_elastic", env!("CARGO_BIN_EXE_fig_elastic")),
     ("fig_faults", env!("CARGO_BIN_EXE_fig_faults")),
+    ("fig_serve", env!("CARGO_BIN_EXE_fig_serve")),
 ];
 
 #[test]

@@ -24,7 +24,10 @@
 //!   utilization) for scaling policies and exporters to read;
 //! * fault-tolerance counters ([`health::HealthCounters`]) recorded by the
 //!   pipeline's supervision layer (worker panics, restarts, degraded
-//!   snapshots, timeouts, dropped items).
+//!   snapshots, timeouts, dropped items);
+//! * serving-layer metrics ([`serve::ServeCounters`],
+//!   [`serve::CacheGauges`]) recorded by the network query frontend's
+//!   admission/coalescing layers and the snapshot cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod ground_truth;
 pub mod health;
 pub mod latency;
 pub mod load;
+pub mod serve;
 pub mod stats;
 pub mod sync;
 pub mod throughput;
@@ -43,6 +47,7 @@ pub use ground_truth::GroundTruth;
 pub use health::{Counter, HealthCounters};
 pub use latency::{LatencySeries, StalenessTracker};
 pub use load::{Gauge, LoadGauges};
+pub use serve::{CacheGauges, ServeCounters};
 pub use stats::Summary;
 pub use throughput::{mops_for, Throughput};
 

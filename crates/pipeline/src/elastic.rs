@@ -42,7 +42,7 @@ use crate::live::{CachePolicy, CachedSnapshots, LiveHandle, SnapshotSource};
 use crate::policy::{LoadMonitor, ScalingPolicy};
 use crate::sharded::{PipelineOutput, ShardLoad, ShardStats, ShardedPipeline};
 use crate::snapshot::SnapshotView;
-use crate::supervisor::RetryPolicy;
+use crate::supervisor::{RetryPolicy, SupervisorConfig};
 use crate::{FrequencyQueries, PipelineConfig, SnapshotSummary};
 
 /// State shared between the producer and every [`ElasticHandle`], swapped
@@ -157,6 +157,10 @@ pub struct ElasticPipeline<S: SnapshotSummary> {
     /// `self`), so the accessors' expects cannot fire.
     inner: Option<ShardedPipeline<S>>,
     config: PipelineConfig,
+    /// Fault-tolerance configuration, re-applied to every generation's
+    /// worker set (chaos plans trigger on shard-local counts, so they fire
+    /// in whichever generation reaches them).
+    supervisor: SupervisorConfig,
     factory: Box<dyn FnMut(usize) -> S + Send>,
     shared: Arc<RwLock<Shared<S>>>,
     /// Mirror of `shared.base_epoch`, readable without the lock (the
@@ -198,9 +202,23 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
     /// index); every call must use the same seed and dimensions, exactly as
     /// for [`ShardedPipeline::new`].
     pub fn new(config: &PipelineConfig, factory: impl FnMut(usize) -> S + Send + 'static) -> Self {
+        Self::supervised(config, SupervisorConfig::default(), factory)
+    }
+
+    /// Like [`ElasticPipeline::new`], but with an explicit fault-tolerance
+    /// configuration applied to *every* generation's worker set — chaos
+    /// plans, recovery modes and timeouts carry across rescales.  (Restart
+    /// recovery is not available through the elastic plane: the factory
+    /// belongs to the control plane, and a dead shard's items are surfaced
+    /// as degraded coverage instead.)
+    pub fn supervised(
+        config: &PipelineConfig,
+        supervisor: SupervisorConfig,
+        factory: impl FnMut(usize) -> S + Send + 'static,
+    ) -> Self {
         let mut factory: Box<dyn FnMut(usize) -> S + Send> = Box::new(factory);
         let config = *config;
-        let inner = ShardedPipeline::new(&config, &mut factory);
+        let inner = ShardedPipeline::build(&config, supervisor.clone(), &mut *factory);
         let shared = Arc::new(RwLock::new(Shared {
             sealed: None,
             base_epoch: 0,
@@ -210,6 +228,7 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
         Self {
             inner: Some(inner),
             config,
+            supervisor,
             factory,
             shared,
             base_epoch: 0,
@@ -325,7 +344,8 @@ impl<S: SnapshotSummary> ElasticPipeline<S> {
         }
         let from_shards = self.inner().shards();
         self.config.shards = target;
-        let fresh = ShardedPipeline::new(&self.config, &mut self.factory);
+        let fresh =
+            ShardedPipeline::build(&self.config, self.supervisor.clone(), &mut *self.factory);
         let old = self
             .inner
             .replace(fresh)

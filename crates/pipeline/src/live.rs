@@ -506,6 +506,23 @@ struct CacheState<S> {
     cached: Mutex<Option<Arc<SnapshotView<S>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional exporter mirror: every lookup republishes the counters
+    /// here, so watchers (the serve layer, benches) can read cache
+    /// effectiveness without holding this cache.
+    gauges: Option<Arc<salsa_metrics::CacheGauges>>,
+}
+
+impl<S> CacheState<S> {
+    fn publish(&self) {
+        if let Some(gauges) = self.gauges.as_ref() {
+            // RELAXED-OK: statistics mirror; the gauges carry no other
+            // memory, so no ordering is needed on either side.
+            let hits = self.hits.load(Ordering::Relaxed);
+            let misses = self.misses.load(Ordering::Relaxed);
+            gauges.hits.set(hits as f64);
+            gauges.misses.set(misses as f64);
+        }
+    }
 }
 
 /// A TTL cache in front of a snapshot-producing handle: instead of cloning
@@ -544,6 +561,25 @@ impl<H: SnapshotSource<S>, S> CachedSnapshots<H, S> {
                 cached: Mutex::new(None),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                gauges: None,
+            }),
+        }
+    }
+
+    /// Mirrors this cache's hit/miss counters into the given
+    /// [`salsa_metrics::CacheGauges`] on every lookup, so exporters can
+    /// watch cache effectiveness without holding the cache itself.  Resets
+    /// the cache state (clones made *before* this call keep the old,
+    /// un-gauged state).
+    pub fn with_gauges(self, gauges: Arc<salsa_metrics::CacheGauges>) -> Self {
+        Self {
+            source: self.source,
+            policy: self.policy,
+            state: Arc::new(CacheState {
+                cached: Mutex::new(None),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                gauges: Some(gauges),
             }),
         }
     }
@@ -592,6 +628,7 @@ impl<H: SnapshotSource<S>, S> CachedSnapshots<H, S> {
                 // RELAXED-OK: statistics counter; the view itself is
                 // published by the cache mutex, not by this increment.
                 self.state.hits.fetch_add(1, Ordering::Relaxed);
+                self.state.publish();
                 return Some(Arc::clone(view));
             }
         }
@@ -610,6 +647,7 @@ impl<H: SnapshotSource<S>, S> CachedSnapshots<H, S> {
             Some(fresh) => {
                 // RELAXED-OK: statistics counter, as for `hits` above.
                 self.state.misses.fetch_add(1, Ordering::Relaxed);
+                self.state.publish();
                 let fresh = Arc::new(fresh);
                 *cached = Some(Arc::clone(&fresh));
                 Some(fresh)

@@ -456,7 +456,11 @@ impl<S: SnapshotSummary> ShardedPipeline<S> {
         pipeline
     }
 
-    fn build(
+    /// Shared constructor: `new`/`supervised` and the elastic control plane
+    /// (which keeps the factory itself, re-invoking it per generation)
+    /// build through here.  Restart recovery needs the stored factory, so
+    /// pipelines built this way support it only via `supervised`.
+    pub(crate) fn build(
         config: &PipelineConfig,
         supervisor: SupervisorConfig,
         factory: &mut dyn FnMut(usize) -> S,

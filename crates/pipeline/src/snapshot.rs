@@ -98,6 +98,28 @@ impl<S> SnapshotView<S> {
         }
     }
 
+    /// Builds a view around an externally produced summary, issued now.
+    ///
+    /// [`SnapshotSource`](crate::SnapshotSource) is a public trait, so
+    /// custom sources (test doubles, proxies over remote pipelines) need a
+    /// way to mint the views they serve; this is it.  The view carries no
+    /// per-shard statistics.
+    #[must_use]
+    pub fn synthetic(merged: S, epoch: u64, generation: u64, coverage: CoverageMeta) -> Self {
+        let now = Instant::now();
+        Self {
+            merged,
+            epoch,
+            generation,
+            coverage,
+            // ALLOC-OK: empty Vec (no heap storage); synthetic views carry
+            // no shard statistics, and minting one is not the query path.
+            shards: Vec::new(),
+            issued: now,
+            assembled: now,
+        }
+    }
+
     /// Decomposes the view so the elastic layer can fold sealed generations
     /// into it and re-stamp the epoch
     /// (`(merged, epoch, coverage, shards, issued)`).

@@ -1,0 +1,207 @@
+//! A small blocking client for the wire protocol.
+//!
+//! One [`QueryClient`] owns one connection and three reusable buffers;
+//! its point-query path (encode → write → read → decode) allocates
+//! nothing once the buffers are warm, matching the server's discipline so
+//! the whole loopback round trip stays off the allocator.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{check_frame_len, ErrorCode, Request, Response, WireError, WireMeta, WireStats};
+
+/// Everything a query can fail with, client-side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (including a server that closed the connection).
+    Io(io::Error),
+    /// The server's bytes did not decode (protocol mismatch or corruption).
+    Wire(WireError),
+    /// The server refused the request; retry after the hint.
+    Overloaded {
+        /// Server-suggested backoff, in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The server answered with a typed error (finished pipeline, bad
+    /// request).
+    Server(ErrorCode),
+    /// The server answered with a structurally valid but out-of-sequence
+    /// message (e.g. a top-k response to a point query).
+    Unexpected,
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
+            }
+            ClientError::Server(code) => write!(f, "server error: {code:?}"),
+            ClientError::Unexpected => write!(f, "out-of-sequence response"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A point query's answer.
+#[derive(Debug, Clone, Copy)]
+pub struct PointAnswer {
+    /// Epoch/coverage of the answering view.
+    pub meta: WireMeta,
+    /// The frequency estimate.
+    pub estimate: i64,
+}
+
+/// A top-k query's answer.
+#[derive(Debug, Clone)]
+pub struct TopKAnswer {
+    /// Epoch/coverage of the answering view.
+    pub meta: WireMeta,
+    /// `(item, estimate)` pairs, largest first.
+    pub entries: Vec<(u64, u64)>,
+}
+
+/// One pushed subscription update.
+#[derive(Debug, Clone)]
+pub struct Update {
+    /// Tick index; gaps mean the server skipped ticks for this consumer.
+    pub seq: u64,
+    /// Epoch/coverage of the answering view.
+    pub meta: WireMeta,
+    /// `(item, estimate)` pairs, largest first.
+    pub entries: Vec<(u64, u64)>,
+}
+
+/// A blocking connection to a query server.
+pub struct QueryClient {
+    stream: TcpStream,
+    payload: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl QueryClient {
+    /// Connects (blocking, no timeout on the connect itself).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            payload: Vec::new(),
+            out: Vec::new(),
+        })
+    }
+
+    /// Bounds how long a response read may block (`None` = forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        request.encode(&mut self.out)?;
+        self.stream.write_all(&self.out)?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<Response, ClientError> {
+        let mut header = [0u8; 4];
+        self.stream.read_exact(&mut header)?;
+        let len = check_frame_len(u32::from_le_bytes(header), crate::wire::MAX_FRAME_BYTES)?;
+        self.payload.clear();
+        self.payload.resize(len, 0);
+        self.stream.read_exact(&mut self.payload)?;
+        Ok(Response::decode(&self.payload)?)
+    }
+
+    /// Estimates `item`'s frequency.
+    pub fn point(&mut self, item: u64) -> Result<PointAnswer, ClientError> {
+        self.send(&Request::Point { item })?;
+        match self.receive()? {
+            Response::Point { meta, estimate } => Ok(PointAnswer { meta, estimate }),
+            other => fail(other),
+        }
+    }
+
+    /// The `k` largest estimates among `candidates`.
+    pub fn top_k(&mut self, k: u16, candidates: &[u64]) -> Result<TopKAnswer, ClientError> {
+        self.send(&Request::TopK {
+            k,
+            candidates: candidates.to_vec(),
+        })?;
+        match self.receive()? {
+            Response::TopK { meta, entries } => Ok(TopKAnswer { meta, entries }),
+            other => fail(other),
+        }
+    }
+
+    /// The server's counters.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.receive()? {
+            Response::Stats(stats) => Ok(stats),
+            other => fail(other),
+        }
+    }
+
+    /// Switches this connection to push mode: the server sends a refreshed
+    /// top-k over `candidates` every `interval` (clamped server-side).
+    /// On success the connection only carries updates from here on.
+    pub fn subscribe(
+        mut self,
+        k: u16,
+        interval: Duration,
+        candidates: &[u64],
+    ) -> Result<Subscription, ClientError> {
+        self.send(&Request::Subscribe {
+            k,
+            interval_ms: interval.as_millis().min(u128::from(u32::MAX)) as u32,
+            candidates: candidates.to_vec(),
+        })?;
+        Ok(Subscription { client: self })
+    }
+}
+
+fn fail<T>(response: Response) -> Result<T, ClientError> {
+    match response {
+        Response::Overloaded { retry_after_ms } => Err(ClientError::Overloaded { retry_after_ms }),
+        Response::Error(code) => Err(ClientError::Server(code)),
+        _ => Err(ClientError::Unexpected),
+    }
+}
+
+/// The receiving end of a top-k subscription.
+pub struct Subscription {
+    client: QueryClient,
+}
+
+impl Subscription {
+    /// Blocks for the next pushed update.  [`ClientError::Server`] with
+    /// [`ErrorCode::Finished`] means the pipeline ended and no further
+    /// updates will come.
+    pub fn next_update(&mut self) -> Result<Update, ClientError> {
+        match self.client.receive()? {
+            Response::Update { seq, meta, entries } => Ok(Update { seq, meta, entries }),
+            other => fail(other),
+        }
+    }
+
+    /// Bounds how long [`Subscription::next_update`] may block.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.client.set_timeout(timeout)
+    }
+}

@@ -1,0 +1,251 @@
+//! Request coalescing: one snapshot fetch per window, shared by every
+//! request that arrives while the window is open.
+//!
+//! A [`CachedSnapshots`] layer already gives *single-flight* semantics — a
+//! thundering herd of expired queries pays one assembly — but each request
+//! still performs its own cache consult, and a request that arrives *just*
+//! after a fetch started cannot join it.  The [`Coalescer`] adds a ticketed
+//! fetch protocol on top:
+//!
+//! 1. Every requester takes the current **ticket** (`next_fetch`) under the
+//!    state lock.
+//! 2. The first requester to find no fetch in flight becomes the
+//!    **fetcher**: it holds the window open for `window` (so concurrent
+//!    arrivals can join), *then* advances `next_fetch` and consults the
+//!    cache.  Because the advance happens before the consult, every ticket
+//!    at or below the fetched round joined **before** the fetch began —
+//!    so the view they are served reflects a cache consult that started
+//!    after they arrived.  With a zero [`salsa_pipeline::CachePolicy`] that means an epoch
+//!    at least as fresh as the pipeline's acknowledged count at join time;
+//!    with a nonzero policy, staleness is bounded by the policy as usual.
+//! 3. Everyone else parks on a condvar and is handed the fetched view
+//!    (an `Arc` clone — no allocation, no sketch access) when their round
+//!    completes.  These are the **coalesced** requests, counted in
+//!    [`ServeCounters::coalesced`].
+//!
+//! The steady-state cost per window is therefore one cache consult (often a
+//! hit: an `Arc` clone) regardless of how many requests share it, and the
+//! steady-state serve path performs no allocation.
+//!
+//! This protocol has a loom-lite model (`tests/loom_coalesce.rs`)
+//! checking the join-epoch guarantee, plus a deliberately-buggy twin the
+//! checker catches — see the ROADMAP's concurrency notes.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use salsa_metrics::ServeCounters;
+use salsa_pipeline::{CachedSnapshots, SnapshotSource, SnapshotView};
+
+/// Shared fetch-round state (see the module docs for the protocol).
+struct CoalesceState<S> {
+    /// Ticket the next arriving requester takes; advanced by the fetcher
+    /// right before it consults the cache.
+    next_fetch: u64,
+    /// Highest round whose view has been published.
+    completed: u64,
+    /// Whether a fetcher currently holds the window open or is fetching.
+    fetching: bool,
+    /// The most recently published view (`None` before the first round and
+    /// after the pipeline finishes).
+    view: Option<Arc<SnapshotView<S>>>,
+}
+
+/// A coalescing front for a [`CachedSnapshots`] layer; see the module docs.
+///
+/// Share one behind an `Arc` between all serving threads; every thread
+/// calls [`Coalescer::view`] per request.
+pub struct Coalescer<H, S> {
+    cache: CachedSnapshots<H, S>,
+    window: Duration,
+    counters: Arc<ServeCounters>,
+    state: Mutex<CoalesceState<S>>,
+    round_done: Condvar,
+}
+
+impl<H: SnapshotSource<S>, S> Coalescer<H, S> {
+    /// Wraps `cache` with a coalescing window of `window`.  Counter
+    /// increments (`coalesced`) land in `counters`.
+    pub fn new(
+        cache: CachedSnapshots<H, S>,
+        window: Duration,
+        counters: Arc<ServeCounters>,
+    ) -> Self {
+        Self {
+            cache,
+            window,
+            counters,
+            // At rest the invariant is `completed == next_fetch - 1`: the
+            // next arriving ticket is exactly the round that has not run.
+            state: Mutex::new(CoalesceState {
+                next_fetch: 1,
+                completed: 0,
+                fetching: false,
+                view: None,
+            }),
+            round_done: Condvar::new(),
+        }
+    }
+
+    /// The wrapped cache (for hit/miss statistics).
+    pub fn cache(&self) -> &CachedSnapshots<H, S> {
+        &self.cache
+    }
+
+    /// The coalescing window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// A view from this request's fetch round: the shared result of one
+    /// cache consult that began after this call did.  Blocks for at most
+    /// roughly the window plus one snapshot assembly.  `None` once the
+    /// pipeline has finished (and its last cached view expired).
+    pub fn view(&self) -> Option<Arc<SnapshotView<S>>> {
+        // PANIC-OK: the lock guards plain counter/Arc state; the only code
+        // that runs while it is held is this module's, which does not panic.
+        let mut state = self.state.lock().expect("coalesce state lock poisoned");
+        let ticket = state.next_fetch;
+        loop {
+            if state.completed >= ticket {
+                // Published by a fetch that began after we took the ticket:
+                // a coalesced answer.
+                self.counters.coalesced.incr();
+                return state.view.clone();
+            }
+            if !state.fetching {
+                // We are the fetcher for round `ticket` (at rest,
+                // `completed == next_fetch - 1`, so our ticket is exactly
+                // the round about to run).
+                state.fetching = true;
+                drop(state);
+                // Hold the window open so concurrent arrivals join this
+                // round instead of queueing behind it.
+                if !self.window.is_zero() {
+                    std::thread::sleep(self.window);
+                }
+                // Close the round *before* consulting the cache: tickets
+                // taken from here on belong to the next fetch, so everyone
+                // this round serves joined before the consult below.
+                let round;
+                {
+                    // PANIC-OK: as above — the lock guards plain state.
+                    let mut state = self.state.lock().expect("coalesce state lock poisoned");
+                    round = state.next_fetch;
+                    state.next_fetch = round + 1;
+                }
+                let fetched = self.cache.snapshot();
+                // PANIC-OK: as above — the lock guards plain state.
+                let mut state = self.state.lock().expect("coalesce state lock poisoned");
+                state.view = fetched.clone();
+                state.completed = round;
+                state.fetching = false;
+                drop(state);
+                self.round_done.notify_all();
+                return fetched;
+            }
+            // A fetcher is mid-round; park until it publishes.
+            state = self
+                .round_done
+                // PANIC-OK: as above — the lock guards plain state.
+                .wait(state)
+                .expect("coalesce state lock poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_pipeline::CachePolicy;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A snapshot source whose epoch is a shared counter, so tests can
+    /// advance the "stream" without a pipeline.
+    #[derive(Clone)]
+    struct FakeSource {
+        epoch: Arc<AtomicU64>,
+        assemblies: Arc<AtomicU64>,
+    }
+
+    impl SnapshotSource<u64> for FakeSource {
+        fn snapshot(&self) -> Option<SnapshotView<u64>> {
+            self.assemblies.fetch_add(1, Ordering::Relaxed);
+            let epoch = self.epoch.load(Ordering::Relaxed);
+            Some(SnapshotView::synthetic(
+                epoch,
+                epoch,
+                0,
+                salsa_pipeline::CoverageMeta::full(1),
+            ))
+        }
+
+        fn acknowledged(&self) -> u64 {
+            self.epoch.load(Ordering::Relaxed)
+        }
+    }
+
+    fn coalescer(
+        window_ms: u64,
+        policy: CachePolicy,
+    ) -> (Arc<AtomicU64>, Coalescer<FakeSource, u64>) {
+        let epoch = Arc::new(AtomicU64::new(0));
+        let source = FakeSource {
+            epoch: Arc::clone(&epoch),
+            assemblies: Arc::new(AtomicU64::new(0)),
+        };
+        let cache = CachedSnapshots::new(source, policy);
+        (
+            epoch,
+            Coalescer::new(
+                cache,
+                Duration::from_millis(window_ms),
+                Arc::new(ServeCounters::new()),
+            ),
+        )
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_fetch() {
+        // Zero staleness budget: every round must consult the source.
+        let (_, coalescer) = coalescer(20, CachePolicy::new(Duration::ZERO, 0));
+        let coalescer = Arc::new(coalescer);
+        let views: Vec<_> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let coalescer = Arc::clone(&coalescer);
+                    scope.spawn(move || coalescer.view().expect("source never finishes"))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("requester panicked"))
+                .collect()
+        });
+        let assemblies = coalescer
+            .cache()
+            .source()
+            .assemblies
+            .load(Ordering::Relaxed);
+        assert!(
+            assemblies < 8,
+            "8 concurrent requests must share fetches, got {assemblies} assemblies"
+        );
+        assert!(!views.is_empty());
+        assert!(coalescer.cache().misses() >= 1);
+    }
+
+    #[test]
+    fn served_epoch_is_at_least_join_epoch() {
+        let (epoch, coalescer) = coalescer(1, CachePolicy::new(Duration::ZERO, 0));
+        for round in 1..=50u64 {
+            epoch.store(round * 10, Ordering::Relaxed);
+            let at_join = epoch.load(Ordering::Relaxed);
+            let view = coalescer.view().expect("source never finishes");
+            assert!(
+                view.epoch() >= at_join,
+                "round {round}: served epoch {} < join epoch {at_join}",
+                view.epoch()
+            );
+        }
+    }
+}

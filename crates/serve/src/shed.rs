@@ -1,0 +1,169 @@
+//! Admission control: refuse work instead of queueing it unboundedly.
+//!
+//! The server admits a request only while (a) the number of requests in
+//! flight is below a cap and (b) the ingest path's *observed* backlog —
+//! the `pending_items` gauge published by the pipeline's
+//! [`LoadMonitor`](salsa_pipeline::LoadMonitor) — is below a watermark.
+//! Everything else is refused immediately with a typed
+//! `Overloaded { retry_after_ms }` response, so a saturating client slows
+//! itself down instead of stalling ingestion or ballooning queues: the
+//! load signal is measured, not a static connection limit.
+//!
+//! Admission is a single atomic increment per request; the in-flight count
+//! is released by RAII ([`Permit`]), so handler panics and early returns
+//! cannot leak slots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use salsa_metrics::load::LoadGauges;
+use salsa_metrics::ServeCounters;
+
+/// Admission thresholds; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum requests being served concurrently (subscriptions count for
+    /// the duration of the `Subscribe` handshake, not their whole life).
+    pub max_inflight: u64,
+    /// Refuse queries while the pipeline's published `pending_items` gauge
+    /// is at or above this many backlogged updates.  `f64::INFINITY`
+    /// disables the check (e.g. when no load monitor publishes the gauge).
+    pub max_pending_items: f64,
+    /// Backoff hint carried by `Overloaded` responses.
+    pub retry_after: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 256,
+            max_pending_items: f64::INFINITY,
+            retry_after: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Why a request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Backoff hint for the client, in milliseconds.
+    pub retry_after_ms: u32,
+}
+
+/// The admission gate, shared by every handler thread.
+#[derive(Debug)]
+pub struct Admission {
+    config: AdmissionConfig,
+    inflight: AtomicU64,
+    load: Arc<LoadGauges>,
+    counters: Arc<ServeCounters>,
+}
+
+impl Admission {
+    /// Builds the gate.  `load` is the gauge set the pipeline's monitor
+    /// publishes into (share the same `Arc` with the monitor); `counters`
+    /// receives the accepted/shed counts.
+    pub fn new(
+        config: AdmissionConfig,
+        load: Arc<LoadGauges>,
+        counters: Arc<ServeCounters>,
+    ) -> Self {
+        Self {
+            config,
+            inflight: AtomicU64::new(0),
+            load,
+            counters,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Requests currently holding a [`Permit`].
+    pub fn inflight(&self) -> u64 {
+        // RELAXED-OK: monotone-in/monotone-out statistics read; admission
+        // decisions re-read it inside the CAS-like increment below.
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Tries to admit one request.  On refusal the caller must answer
+    /// `Overloaded` with the returned hint and move on — never queue.
+    pub fn try_admit(&self) -> Result<Permit<'_>, Shed> {
+        let shed = |counters: &ServeCounters| {
+            counters.shed.incr();
+            Err(Shed {
+                retry_after_ms: self.config.retry_after.as_millis().min(u32::MAX as u128) as u32,
+            })
+        };
+        if self.load.pending_items.get() >= self.config.max_pending_items {
+            return shed(&self.counters);
+        }
+        // RELAXED-OK: the in-flight count is an admission statistic, not
+        // a publication fence — a small over/under-shoot only moves the
+        // shedding point by one request.
+        let previous = self.inflight.fetch_add(1, Ordering::Relaxed);
+        if previous >= self.config.max_inflight {
+            // RELAXED-OK: as above — undo of the statistics increment.
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            return shed(&self.counters);
+        }
+        self.counters.accepted.incr();
+        Ok(Permit { gate: self })
+    }
+}
+
+/// An admitted request's slot; releases the in-flight count on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        // RELAXED-OK: as in `try_admit` — statistics decrement only.
+        self.gate.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(max_inflight: u64, max_pending: f64) -> Admission {
+        Admission::new(
+            AdmissionConfig {
+                max_inflight,
+                max_pending_items: max_pending,
+                retry_after: Duration::from_millis(40),
+            },
+            Arc::new(LoadGauges::new()),
+            Arc::new(ServeCounters::new()),
+        )
+    }
+
+    #[test]
+    fn inflight_cap_sheds_and_permits_release() {
+        let gate = gate(2, f64::INFINITY);
+        let a = gate.try_admit().expect("slot 1");
+        let _b = gate.try_admit().expect("slot 2");
+        let refused = gate.try_admit().expect_err("cap reached");
+        assert_eq!(refused.retry_after_ms, 40);
+        drop(a);
+        assert!(gate.try_admit().is_ok(), "released slot re-admits");
+        assert_eq!(gate.counters.accepted.get(), 3);
+        assert_eq!(gate.counters.shed.get(), 1);
+    }
+
+    #[test]
+    fn backlog_watermark_sheds_before_any_slot_is_taken() {
+        let gate = gate(16, 1_000.0);
+        gate.load.pending_items.set(2_000.0);
+        assert!(gate.try_admit().is_err());
+        assert_eq!(gate.inflight(), 0, "refused requests take no slot");
+        gate.load.pending_items.set(10.0);
+        assert!(gate.try_admit().is_ok());
+    }
+}

@@ -1,0 +1,187 @@
+//! loom-lite models of the request-coalescing ticket protocol
+//! (`salsa_serve::coalesce::Coalescer`).
+//!
+//! The protocol's freshness contract: every requester that joins a
+//! coalescing window is served a view whose epoch is **at least** the
+//! source's epoch at the moment it joined.  The load-bearing detail is
+//! the order inside the fetcher: it closes the round (bumps `next_fetch`
+//! so later arrivals get a fresh ticket) *before* consulting the source,
+//! so every ticket ≤ round was taken before the fetch began and the
+//! fetched epoch covers it.
+//!
+//! Two models, per the house loom discipline
+//! (`crates/pipeline/tests/loom_models.rs`): the protocol as shipped,
+//! which must survive an exhausted schedule space, and a deliberately
+//! buggy twin — serve *any* completed round, ignoring the ticket — whose
+//! stale-read interleaving the checker must find.  Both are distilled
+//! re-implementations on modeled primitives: the condvar wait becomes a
+//! yield loop (loom-lite models no condvar) and the coalescing-window
+//! sleep is elided — the schedule explorer supplies the interleavings a
+//! real window would collect.
+
+use loom_lite::sync::atomic::{AtomicU64, Ordering};
+use loom_lite::sync::{Arc, Mutex};
+use loom_lite::{thread, Builder};
+
+/// The coalescer's shared state, field for field
+/// (`view_epoch` stands in for the `Arc<SnapshotView>`).
+struct Coalesce {
+    /// Ticket the next requester takes; the fetcher bumps it when the
+    /// round closes.  At rest `completed == next_fetch - 1`.
+    next_fetch: u64,
+    /// Highest round whose view has been published.
+    completed: u64,
+    /// A fetcher holds the round open.
+    fetching: bool,
+    /// Epoch of the published view.
+    view_epoch: u64,
+}
+
+fn new_state() -> Coalesce {
+    Coalesce {
+        next_fetch: 1,
+        completed: 0,
+        fetching: false,
+        view_epoch: 0,
+    }
+}
+
+/// The shipped protocol: take a ticket, wait until a round at or past it
+/// completes, or become the fetcher yourself.  Returns the served epoch.
+fn coalesced_view(state: &Mutex<Coalesce>, source: &AtomicU64) -> u64 {
+    let mut s = state.lock().expect("poisoning is not modeled");
+    let ticket = s.next_fetch;
+    loop {
+        if s.completed >= ticket {
+            return s.view_epoch;
+        }
+        if !s.fetching {
+            s.fetching = true;
+            drop(s);
+            // (the real coalescer sleeps out the window here)
+            let round = {
+                let mut s = state.lock().expect("poisoning is not modeled");
+                let round = s.next_fetch;
+                s.next_fetch = round + 1;
+                round
+            };
+            // Round closed *before* the source is consulted — the
+            // property under test lives on this line order.
+            let epoch = source.load(Ordering::Acquire);
+            let mut s = state.lock().expect("poisoning is not modeled");
+            s.view_epoch = epoch;
+            s.completed = round;
+            s.fetching = false;
+            return epoch;
+        }
+        drop(s);
+        thread::yield_now();
+        s = state.lock().expect("poisoning is not modeled");
+    }
+}
+
+/// The buggy twin: any completed round is treated as fresh enough.  A
+/// requester that joins *after* the round's fetch read the source is
+/// handed that round's (now stale) view.
+fn stale_view(state: &Mutex<Coalesce>, source: &AtomicU64) -> u64 {
+    let mut s = state.lock().expect("poisoning is not modeled");
+    loop {
+        // BUG under test: no ticket — `completed > 0` serves the cached
+        // view no matter when this requester joined.
+        if s.completed > 0 {
+            return s.view_epoch;
+        }
+        if !s.fetching {
+            s.fetching = true;
+            drop(s);
+            let round = {
+                let mut s = state.lock().expect("poisoning is not modeled");
+                let round = s.next_fetch;
+                s.next_fetch = round + 1;
+                round
+            };
+            let epoch = source.load(Ordering::Acquire);
+            let mut s = state.lock().expect("poisoning is not modeled");
+            s.view_epoch = epoch;
+            s.completed = round;
+            s.fetching = false;
+            return epoch;
+        }
+        drop(s);
+        thread::yield_now();
+        s = state.lock().expect("poisoning is not modeled");
+    }
+}
+
+/// How many epochs the modeled source advances through.
+const EPOCH_ADVANCES: u64 = 2;
+
+fn run_model(requester: fn(&Mutex<Coalesce>, &AtomicU64) -> u64) {
+    let state = Arc::new(Mutex::new(new_state()));
+    let source = Arc::new(AtomicU64::new(0));
+
+    // The ingest path: the source's epoch only ever advances.
+    let publisher_source = Arc::clone(&source);
+    let publisher = thread::spawn(move || {
+        for epoch in 1..=EPOCH_ADVANCES {
+            publisher_source.store(epoch, Ordering::Release);
+        }
+    });
+
+    let requesters: Vec<_> = (0..2)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            let source = Arc::clone(&source);
+            thread::spawn(move || {
+                let join_epoch = source.load(Ordering::Acquire);
+                let served = requester(&state, &source);
+                assert!(
+                    served >= join_epoch,
+                    "served epoch {served} is staler than join epoch {join_epoch}"
+                );
+            })
+        })
+        .collect();
+
+    for handle in requesters {
+        handle.join().ok();
+    }
+    publisher.join().ok();
+
+    let s = state.lock().expect("poisoning is not modeled");
+    assert!(!s.fetching, "a fetcher leaked the open-round flag");
+    assert_eq!(
+        s.completed,
+        s.next_fetch - 1,
+        "at-rest invariant broken: completed {} vs next_fetch {}",
+        s.completed,
+        s.next_fetch
+    );
+}
+
+/// The shipped protocol holds the freshness contract under every bounded
+/// schedule: served epoch ≥ epoch at join, and the coalescer returns to
+/// its at-rest invariant.
+#[test]
+fn coalesced_views_are_fresh_at_join() {
+    // Three modeled threads; bound 3 keeps the space exhaustible while
+    // still pushing past 1,000 distinct interleavings.
+    let report = Builder::default()
+        .preemption_bound(3)
+        .check(|| run_model(coalesced_view));
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete, "schedule space must be exhausted");
+    assert!(report.interleavings >= 1_000, "{}", report.interleavings);
+}
+
+/// The checker must catch the stale-cache twin: one requester completes a
+/// round at epoch 0, the source advances, and a late joiner is served the
+/// old round's view — staler than the epoch it joined at.
+#[test]
+fn checker_catches_ticketless_stale_serving() {
+    let report = Builder::default().check(|| run_model(stale_view));
+    let failure = report
+        .failure
+        .expect("the stale-serve interleaving must be found");
+    assert!(failure.message.contains("staler"), "{}", failure.message);
+}

@@ -1,0 +1,150 @@
+//! Property tests of the serve wire protocol.
+//!
+//! Two families:
+//!
+//! * **Roundtrip** — every structurally valid request/response survives
+//!   encode → decode unchanged, for arbitrary field values and entry
+//!   lists (the encoder and decoder agree on the layout byte for byte);
+//! * **Robustness** — the decoder is *total*: every strict prefix of a
+//!   valid payload and every arbitrary byte string decodes to a typed
+//!   [`WireError`] or a valid message, never a panic (the salsa-lint
+//!   PANIC-OK discipline for the serve crate, checked behaviorally).
+
+use proptest::prelude::*;
+use salsa_serve::wire::{Request, Response, WireError, WireMeta, WireStats};
+
+/// Builds one of the four request variants from generated raw material.
+fn request_from(selector: u8, item: u64, k: u16, interval_ms: u32, candidates: &[u64]) -> Request {
+    match selector % 4 {
+        0 => Request::Point { item },
+        1 => Request::TopK {
+            k,
+            candidates: candidates.to_vec(),
+        },
+        2 => Request::Subscribe {
+            k,
+            interval_ms,
+            candidates: candidates.to_vec(),
+        },
+        _ => Request::Stats,
+    }
+}
+
+/// Builds one of the six response variants from generated raw material.
+fn response_from(selector: u8, words: &[u64; 8], entries: &[(u64, u64)]) -> Response {
+    let meta = WireMeta {
+        epoch: words[0],
+        generation: words[1],
+        shards_ok: words[2] as u32,
+        shards_failed: words[3] as u32,
+        uncovered_items: words[4],
+    };
+    match selector % 6 {
+        0 => Response::Point {
+            meta,
+            estimate: words[5] as i64,
+        },
+        1 => Response::TopK {
+            meta,
+            entries: entries.to_vec(),
+        },
+        2 => Response::Update {
+            seq: words[6],
+            meta,
+            entries: entries.to_vec(),
+        },
+        3 => Response::Stats(WireStats {
+            accepted: words[0],
+            shed: words[1],
+            coalesced: words[2],
+            subscribed: words[3],
+            cache_hits: words[4],
+            cache_misses: words[5],
+            acknowledged: words[6],
+        }),
+        4 => Response::Overloaded {
+            retry_after_ms: words[7] as u32,
+        },
+        _ => Response::Error(if words[7].is_multiple_of(2) {
+            salsa_serve::wire::ErrorCode::Finished
+        } else {
+            salsa_serve::wire::ErrorCode::BadRequest
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn requests_roundtrip(
+        selector in 0u8..4,
+        item in 0u64..u64::MAX,
+        k in 0u16..u16::MAX,
+        interval_ms in 0u32..u32::MAX,
+        candidates in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let request = request_from(selector, item, k, interval_ms, &candidates);
+        let mut buf = Vec::new();
+        request.encode(&mut buf).map_err(|e| TestCaseError::Fail(format!("encode: {e}")))?;
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        prop_assert_eq!(len, buf.len() - 4);
+        let decoded = Request::decode(&buf[4..])
+            .map_err(|e| TestCaseError::Fail(format!("decode: {e}")))?;
+        prop_assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn responses_roundtrip(
+        selector in 0u8..6,
+        words in prop::collection::vec(0u64..u64::MAX, 8..9),
+        entries in prop::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..40),
+    ) {
+        let mut eight = [0u64; 8];
+        eight.copy_from_slice(&words);
+        // Coverage counts ride u32 wire fields; clamp the raw material the
+        // way the server does.
+        eight[2] &= 0xffff_ffff;
+        eight[3] &= 0xffff_ffff;
+        eight[7] &= 0xffff_ffff;
+        let response = response_from(selector, &eight, &entries);
+        let mut buf = Vec::new();
+        response.encode(&mut buf).map_err(|e| TestCaseError::Fail(format!("encode: {e}")))?;
+        let decoded = Response::decode(&buf[4..])
+            .map_err(|e| TestCaseError::Fail(format!("decode: {e}")))?;
+        prop_assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_a_typed_error(
+        selector in 0u8..4,
+        item in 0u64..u64::MAX,
+        k in 0u16..u16::MAX,
+        interval_ms in 0u32..u32::MAX,
+        candidates in prop::collection::vec(0u64..u64::MAX, 0..20),
+    ) {
+        let request = request_from(selector, item, k, interval_ms, &candidates);
+        let mut buf = Vec::new();
+        request.encode(&mut buf).map_err(|e| TestCaseError::Fail(format!("encode: {e}")))?;
+        let payload = &buf[4..];
+        for cut in 0..payload.len() {
+            let result = Request::decode(&payload[..cut]);
+            prop_assert!(
+                result.is_err(),
+                "prefix of {} of {} bytes decoded to {:?}",
+                cut, payload.len(), result
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics_either_decoder(
+        raw in prop::collection::vec(0u16..256, 0..200),
+    ) {
+        let bytes: Vec<u8> = raw.iter().map(|b| *b as u8).collect();
+        // A panic inside the body is caught by the harness and reported
+        // with the generated bytes — the property is simply "returns".
+        let _: Result<Request, WireError> = Request::decode(&bytes);
+        let _: Result<Response, WireError> = Response::decode(&bytes);
+    }
+}

@@ -11,11 +11,11 @@
 //! 2. **Crates declare their unsafety** — every `crates/*/src/lib.rs` must
 //!    carry `#![forbid(unsafe_code)]`.
 //! 3. **No bare `Ordering::Relaxed` on protocol state** — in the
-//!    concurrency-bearing crates (`pipeline`, `metrics`), a `Relaxed`
-//!    access must carry a `// RELAXED-OK:` proof of why no ordering is
-//!    needed; everything else uses Acquire/Release or stronger.
+//!    concurrency-bearing crates (`pipeline`, `metrics`, `serve`), a
+//!    `Relaxed` access must carry a `// RELAXED-OK:` proof of why no
+//!    ordering is needed; everything else uses Acquire/Release or stronger.
 //! 4. **No unproven panics or stray prints in library code** — in
-//!    `pipeline`, `metrics`, and `core`, `.unwrap()` / `.expect(` need a
+//!    `pipeline`, `metrics`, `serve`, and `core`, `.unwrap()` / `.expect(` need a
 //!    `// PANIC-OK:` justification, and `println!` / `print!` /
 //!    `eprintln!` / `dbg!` are banned outright (library crates must not
 //!    write to stdio).
@@ -94,8 +94,11 @@ impl Scope {
             .iter()
             .any(|name| normalized.ends_with(name));
         Self {
-            relaxed: in_crate("pipeline") || in_crate("metrics"),
-            panics: in_crate("pipeline") || in_crate("metrics") || in_crate("core"),
+            relaxed: in_crate("pipeline") || in_crate("metrics") || in_crate("serve"),
+            panics: in_crate("pipeline")
+                || in_crate("metrics")
+                || in_crate("serve")
+                || in_crate("core"),
             must_use: in_crate("pipeline"),
             crate_root: normalized.contains("crates/") && normalized.ends_with("/src/lib.rs"),
             hot_path_alloc: normalized.contains("crates/") && hot_module,
